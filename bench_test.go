@@ -1,0 +1,182 @@
+package grfusion
+
+// bench_test.go wires every table and figure of the paper's evaluation
+// (§7) into `go test -bench`. Each BenchmarkTableN/BenchmarkFigN runs the
+// corresponding experiment from internal/bench at a reduced scale and
+// logs the paper-style rows (run with -v to see them); cmd/grbench runs
+// the same experiments at full scale with flags. The remaining benchmarks
+// are micro-benchmarks of the engine's hot paths.
+
+import (
+	"fmt"
+	"testing"
+
+	"grfusion/internal/bench"
+)
+
+func benchCfg() bench.Config {
+	return bench.Config{Scale: 0.3, Queries: 5, Seed: 42, MaxJoinHops: 4}
+}
+
+func runExperiment(b *testing.B, fn func(bench.Config) []bench.Row) {
+	b.Helper()
+	cfg := benchCfg()
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		rows = fn(cfg)
+	}
+	if len(rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	b.Log("\n" + bench.Format(rows))
+}
+
+func BenchmarkTable2_Datasets(b *testing.B)              { runExperiment(b, bench.Table2) }
+func BenchmarkFig7_Reachability(b *testing.B)            { runExperiment(b, bench.Fig7) }
+func BenchmarkFig8_ConstrainedReachability(b *testing.B) { runExperiment(b, bench.Fig8) }
+func BenchmarkFig9_ShortestPaths(b *testing.B)           { runExperiment(b, bench.Fig9) }
+func BenchmarkFig10_Triangles(b *testing.B)              { runExperiment(b, bench.Fig10) }
+func BenchmarkTable3_ViewBuild(b *testing.B)             { runExperiment(b, bench.Table3) }
+func BenchmarkFig11_Updates(b *testing.B)                { runExperiment(b, bench.Fig11) }
+func BenchmarkAblation_DesignChoices(b *testing.B)       { runExperiment(b, bench.Ablation) }
+
+// --- Micro-benchmarks -------------------------------------------------------
+
+// socialDB builds a mid-sized social graph for operator micro-benchmarks.
+func socialDB(b *testing.B, users, friendsPer int) *DB {
+	b.Helper()
+	db := Open(Config{})
+	db.MustExec(`CREATE TABLE Users (uid BIGINT PRIMARY KEY, name VARCHAR, job VARCHAR)`)
+	db.MustExec(`CREATE TABLE Friends (fid BIGINT PRIMARY KEY, a BIGINT, b BIGINT, since BIGINT)`)
+	jobs := []string{"Lawyer", "Doctor", "Engineer"}
+	batch := ""
+	for i := 0; i < users; i++ {
+		if batch == "" {
+			batch = "INSERT INTO Users VALUES "
+		} else {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, 'user%d', '%s')", i, i, jobs[i%3])
+		if (i+1)%500 == 0 {
+			db.MustExec(batch)
+			batch = ""
+		}
+	}
+	if batch != "" {
+		db.MustExec(batch)
+	}
+	batch = ""
+	fid := 0
+	for i := 0; i < users; i++ {
+		for j := 1; j <= friendsPer; j++ {
+			if batch == "" {
+				batch = "INSERT INTO Friends VALUES "
+			} else {
+				batch += ", "
+			}
+			batch += fmt.Sprintf("(%d, %d, %d, %d)", fid, i, (i+j*7)%users, 1990+fid%30)
+			fid++
+			if fid%500 == 0 {
+				db.MustExec(batch)
+				batch = ""
+			}
+		}
+	}
+	if batch != "" {
+		db.MustExec(batch)
+	}
+	db.MustExec(`CREATE UNDIRECTED GRAPH VIEW Social
+		VERTEXES(ID = uid, name = name, job = job) FROM Users
+		EDGES(ID = fid, FROM = a, TO = b, since = since) FROM Friends`)
+	return db
+}
+
+func BenchmarkVertexScan(b *testing.B) {
+	db := socialDB(b, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT COUNT(*) FROM Social.Vertexes VS WHERE VS.job = 'Lawyer'`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathScanReachabilityBFS(b *testing.B) {
+	db := socialDB(b, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`SELECT PS.PathString FROM Social.Paths PS HINT(BFS)
+			WHERE PS.StartVertex.Id = %d AND PS.EndVertex.Id = %d LIMIT 1`, i%2000, (i+997)%2000)
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathScanFriendsOfFriends(b *testing.B) {
+	db := socialDB(b, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`SELECT COUNT(P) FROM Social.Paths P
+			WHERE P.StartVertex.Id = %d AND P.Length = 2`, i%2000)
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPathSPScan(b *testing.B) {
+	db := socialDB(b, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`SELECT TOP 1 PS.PathString FROM Social.Paths PS HINT(SHORTESTPATH(since))
+			WHERE PS.StartVertex.Id = %d AND PS.EndVertex.Id = %d`, i%2000, (i+1333)%2000)
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := socialDB(b, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT COUNT(*) FROM Users U, Friends F WHERE U.uid = F.a`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertWithViewMaintenance(b *testing.B) {
+	db := socialDB(b, 1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1_000_000 + i
+		db.MustExec(fmt.Sprintf("INSERT INTO Friends VALUES (%d, %d, %d, 2020)", id, i%1000, (i+13)%1000))
+		db.MustExec(fmt.Sprintf("DELETE FROM Friends WHERE fid = %d", id))
+	}
+}
+
+func BenchmarkParseAndPlanOnly(b *testing.B) {
+	db := socialDB(b, 100, 2)
+	q := `SELECT PS.EndVertex.name FROM Users U, Social.Paths PS
+		WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uid AND PS.Length = 2`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	db := socialDB(b, 500, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := `SELECT COUNT(P) FROM Social.Paths P
+			WHERE P.Length = 3 AND P.Edges[2].EndVertex = P.Edges[0].StartVertex`
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command grbench runs the paper-reproduction experiments and prints the
+// rows/series each table and figure of the evaluation reports.
+//
+// Usage:
+//
+//	grbench -list
+//	grbench -exp fig7 -scale 1.0 -queries 10
+//	grbench -exp all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"grfusion/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, all)")
+		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries = flag.Int("queries", 10, "query instances averaged per data point")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		hops    = flag.Int("maxhops", 8, "deepest traversal attempted by the SQLGraph baseline")
+		mem     = flag.Int64("mem", 0, "intermediate-memory budget for VoltDB-style runs (bytes, 0 = default)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(bench.Experiments))
+		for id := range bench.Experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("experiments:", strings.Join(ids, ", "), "(or: all)")
+		return
+	}
+	cfg := bench.Config{
+		Scale:       *scale,
+		Queries:     *queries,
+		Seed:        *seed,
+		MaxJoinHops: *hops,
+		MemLimit:    *mem,
+	}
+	start := time.Now()
+	var rows []bench.Row
+	if *exp == "all" {
+		rows = bench.All(cfg)
+	} else {
+		fn, ok := bench.Experiments[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "grbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		rows = fn(cfg)
+	}
+	fmt.Print(bench.Format(rows))
+	fmt.Printf("\n%d data points in %s (scale=%g, queries=%d, seed=%d)\n",
+		len(rows), time.Since(start).Round(time.Millisecond), *scale, *queries, *seed)
+}

@@ -1,0 +1,66 @@
+// Command grfusion-server serves a GRFusion database over TCP with the
+// newline-delimited JSON protocol of internal/server (connect with
+// `grfusion -connect addr`).
+//
+// Usage:
+//
+//	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql] [-mem bytes] [-stats 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grfusion/internal/core"
+	"grfusion/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:21212", "listen address")
+		restore = flag.String("restore", "", "restore a snapshot before serving")
+		script  = flag.String("script", "", "run a SQL script before serving")
+		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
+		stats   = flag.Duration("stats", 0, "graph-view statistics refresh interval (0 = disabled)")
+	)
+	flag.Parse()
+
+	eng := core.New(core.Options{MemLimit: *mem})
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "grfusion-server: restored %s\n", *restore)
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := eng.ExecuteScript(string(data)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "grfusion-server: ran %s\n", *script)
+	}
+	if *stats > 0 {
+		eng.StartStatistics(*stats)
+		defer eng.Close()
+	}
+	srv := server.New(eng)
+	fmt.Fprintf(os.Stderr, "grfusion-server: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "grfusion-server: %v\n", err)
+	os.Exit(1)
+}

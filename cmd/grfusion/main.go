@@ -1,0 +1,249 @@
+// Command grfusion is an interactive SQL shell over a GRFusion database.
+//
+// Statements end with ';'. Shell commands:
+//
+//	\q               quit
+//	\explain <sql>   show the physical plan of a SELECT
+//	\save <file>     write a snapshot
+//	\load <file>     restore a snapshot into the (empty) database
+//	\i <file>        execute a SQL script
+//
+// Usage:
+//
+//	grfusion [-restore snapshot.gob] [-script init.sql] [-mem bytes]
+//	grfusion -connect 127.0.0.1:21212      # talk to a grfusion-server
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"grfusion"
+	"grfusion/internal/server"
+)
+
+// executor abstracts the local embedded engine and the remote client so
+// the shell works identically against both.
+type executor interface {
+	Exec(query string) (*grfusion.Result, error)
+}
+
+// remoteExec adapts a server.Client to the executor interface.
+type remoteExec struct{ c *server.Client }
+
+func (r remoteExec) Exec(query string) (*grfusion.Result, error) {
+	res, err := r.c.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return &grfusion.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+func main() {
+	var (
+		restore = flag.String("restore", "", "restore a snapshot before starting")
+		script  = flag.String("script", "", "run a SQL script before starting")
+		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
+		connect = flag.String("connect", "", "connect to a grfusion-server instead of running embedded")
+	)
+	flag.Parse()
+
+	var db *grfusion.DB
+	var exec executor
+	if *connect != "" {
+		c, err := server.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grfusion: %v\n", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		exec = remoteExec{c: c}
+		fmt.Println("connected to", *connect)
+	} else {
+		db = grfusion.Open(grfusion.Config{MemLimit: *mem})
+		exec = db
+	}
+	if *restore != "" && db == nil {
+		fmt.Fprintln(os.Stderr, "grfusion: -restore requires embedded mode")
+		os.Exit(1)
+	}
+	if db != nil && *restore != "" {
+		if err := restoreFile(db, *restore); err != nil {
+			fmt.Fprintf(os.Stderr, "grfusion: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *script != "" {
+		if db == nil {
+			fmt.Fprintln(os.Stderr, "grfusion: -script requires embedded mode")
+			os.Exit(1)
+		}
+		if err := runScript(db, *script); err != nil {
+			fmt.Fprintf(os.Stderr, "grfusion: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("GRFusion shell — graph-relational SQL. End statements with ';', \\q quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("grfusion> ")
+		} else {
+			fmt.Print("      ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if handleMeta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			execute(exec, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// handleMeta executes a backslash command, reporting whether to quit.
+// Snapshot/script/explain commands require embedded mode (db non-nil).
+func handleMeta(db *grfusion.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	if fields[0] != "\\q" && fields[0] != "\\quit" && db == nil {
+		fmt.Println("command", fields[0], "requires embedded mode (no -connect)")
+		return false
+	}
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\explain":
+		text, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain")))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(text)
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save <file>")
+			return false
+		}
+		f, err := os.Create(fields[1])
+		if err == nil {
+			err = db.Snapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("snapshot written to", fields[1])
+		}
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\load <file>")
+			return false
+		}
+		if err := restoreFile(db, fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("snapshot restored from", fields[1])
+		}
+	case "\\i":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\i <file>")
+			return false
+		}
+		if err := runScript(db, fields[1]); err != nil {
+			fmt.Println("error:", err)
+		}
+	default:
+		fmt.Println("unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i)")
+	}
+	return false
+}
+
+func restoreFile(db *grfusion.DB, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Restore(f)
+}
+
+func runScript(db *grfusion.DB, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return db.ExecScript(string(data))
+}
+
+func execute(exec executor, stmt string) {
+	start := time.Now()
+	res, err := exec.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	if res.Columns == nil {
+		fmt.Printf("ok (%d row(s) affected, %s)\n", res.Affected, elapsed)
+		return
+	}
+	printTable(res)
+	fmt.Printf("(%d row(s), %s)\n", len(res.Rows), elapsed)
+}
+
+func printTable(res *grfusion.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			cells[r][c] = s
+			if c < len(widths) && len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			fmt.Printf(" %-*s", widths[i], p)
+			if i < len(parts)-1 {
+				fmt.Print(" |")
+			}
+		}
+		fmt.Println()
+	}
+	line(res.Columns)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, row := range cells {
+		line(row)
+	}
+}

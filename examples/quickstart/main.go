@@ -1,0 +1,69 @@
+// Quickstart: create tables, build a graph view over them, and run one
+// cross-model query mixing a relational filter with a path traversal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grfusion"
+)
+
+func main() {
+	db := grfusion.Open(grfusion.Config{})
+
+	// 1. Plain relational schema and data.
+	if err := db.ExecScript(`
+		CREATE TABLE Users (uid BIGINT PRIMARY KEY, name VARCHAR, job VARCHAR);
+		CREATE TABLE Friends (fid BIGINT PRIMARY KEY, a BIGINT, b BIGINT, since BIGINT);
+		INSERT INTO Users VALUES
+			(1, 'ann',  'Lawyer'),
+			(2, 'bob',  'Doctor'),
+			(3, 'cady', 'Engineer'),
+			(4, 'dan',  'Doctor'),
+			(5, 'eve',  'Lawyer');
+		INSERT INTO Friends VALUES
+			(10, 1, 2, 2001),
+			(11, 2, 3, 2005),
+			(12, 3, 4, 2010),
+			(13, 4, 5, 2015),
+			(14, 1, 3, 2020);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Make the latent graph a first-class object: the topology is
+	// materialized natively, the attributes stay in Users/Friends.
+	db.MustExec(`
+		CREATE UNDIRECTED GRAPH VIEW Social
+			VERTEXES(ID = uid, name = name, job = job) FROM Users
+			EDGES(ID = fid, FROM = a, TO = b, since = since) FROM Friends`)
+
+	// 3. A graph-relational query: friends-of-friends of ann, through
+	// friendships formed after 2002.
+	res, err := db.Query(`
+		SELECT PS.EndVertex.name, PS.PathString
+		FROM Users U, Social.Paths PS
+		WHERE U.name = 'ann'
+		  AND PS.StartVertex.Id = U.uid
+		  AND PS.Length = 2
+		  AND PS.Edges[0..*].since > 2002
+		ORDER BY PS.EndVertex.name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("friends-of-friends of ann through post-2002 friendships:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-6s via %s\n", row[0], row[1])
+	}
+
+	// 4. The engine shows its cross-model plan.
+	plan, err := db.Explain(`
+		SELECT PS.EndVertex.name FROM Users U, Social.Paths PS
+		WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uid AND PS.Length = 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nquery execution pipeline:")
+	fmt.Print(plan)
+}

@@ -1,0 +1,3 @@
+module grfusion
+
+go 1.22

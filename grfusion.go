@@ -1,0 +1,277 @@
+// Package grfusion is an embeddable in-memory relational database engine
+// with native graph support — a from-scratch Go reproduction of
+// "Extending In-Memory Relational Database Engines with Native Graph
+// Support" (Hassan, Kuznetsova, Jeong, Aref, Sadoghi — EDBT 2018).
+//
+// The engine speaks a SQL dialect extended with the paper's graph
+// constructs: CREATE GRAPH VIEW materializes a native adjacency-list
+// topology over relational sources (attributes stay relational, reached
+// through tuple pointers), and queries traverse it with the PATHS /
+// VERTEXES / EDGES constructs, mixing graph operators and relational
+// operators in one query execution pipeline:
+//
+//	db := grfusion.Open(grfusion.Config{})
+//	db.MustExec(`CREATE TABLE Users (uid BIGINT PRIMARY KEY, name VARCHAR)`)
+//	db.MustExec(`CREATE TABLE Friends (fid BIGINT PRIMARY KEY, a BIGINT, b BIGINT)`)
+//	// ... INSERT data ...
+//	db.MustExec(`CREATE UNDIRECTED GRAPH VIEW Social
+//	    VERTEXES(ID = uid, name = name) FROM Users
+//	    EDGES(ID = fid, FROM = a, TO = b) FROM Friends`)
+//	res, err := db.Query(`
+//	    SELECT PS.EndVertex.name FROM Users U, Social.Paths PS
+//	    WHERE U.name = 'ann' AND PS.StartVertex.Id = U.uid AND PS.Length = 2`)
+//
+// Graph views stay consistent under DML: inserts, updates, and deletes on
+// the relational sources maintain the topology inside the same statement.
+package grfusion
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/plan"
+	"grfusion/internal/types"
+)
+
+// Value is one SQL value in a result row.
+type Value = types.Value
+
+// Row is one result tuple.
+type Row = types.Row
+
+// Kind identifies a Value's runtime type.
+type Kind = types.Kind
+
+// Value kinds.
+const (
+	KindNull   = types.KindNull
+	KindBool   = types.KindBool
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindVertex = types.KindVertex
+	KindEdge   = types.KindEdge
+	KindPath   = types.KindPath
+)
+
+// Config tunes an engine instance. The zero value is a good default.
+type Config struct {
+	// MemLimit bounds the intermediate-result memory of a single statement
+	// in bytes (hash tables, sort buffers, materialized join inputs).
+	// Zero means unlimited.
+	MemLimit int64
+	// DisablePushdown turns off pushing path predicates into traversals
+	// (§6.2 of the paper); used by the paper's ablation experiments.
+	DisablePushdown bool
+	// DisableLengthInference turns off path-length inference (§6.1).
+	DisableLengthInference bool
+	// ForceTraversal overrides physical traversal selection for unhinted
+	// path scans: "bfs", "dfs", or "" for the cost-based rule (§6.3).
+	ForceTraversal string
+	// StatsInterval enables the background graph-view statistics refresher
+	// (§6.3 of the paper) with the given period; zero disables it. Call
+	// Close to stop the refresher.
+	StatsInterval time.Duration
+}
+
+// DB is one in-memory database instance. It is safe for concurrent use;
+// statements execute serially (the VoltDB execution model).
+type DB struct {
+	engine *core.Engine
+}
+
+// Open creates a new, empty database.
+func Open(cfg Config) *DB {
+	db := &DB{engine: core.New(core.Options{
+		MemLimit: cfg.MemLimit,
+		Plan: plan.Options{
+			DisablePushdown:        cfg.DisablePushdown,
+			DisableLengthInference: cfg.DisableLengthInference,
+			ForceTraversal:         cfg.ForceTraversal,
+		},
+	})}
+	if cfg.StatsInterval > 0 {
+		db.engine.StartStatistics(cfg.StatsInterval)
+	}
+	return db
+}
+
+// Close stops background work (the statistics refresher). The database
+// remains usable afterwards; Close is only required when StatsInterval
+// was set.
+func (db *DB) Close() { db.engine.Close() }
+
+// Result holds the outcome of one statement.
+type Result struct {
+	// Columns names the result columns (empty for DDL/DML).
+	Columns []string
+	// Rows holds the result tuples of a query.
+	Rows []Row
+	// Affected counts rows touched by DML.
+	Affected int
+}
+
+func wrap(r *core.Result) *Result {
+	if r == nil {
+		return nil
+	}
+	return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected}
+}
+
+// Exec runs a single SQL statement (DDL, DML, or query).
+func (db *DB) Exec(query string) (*Result, error) {
+	r, err := db.engine.Execute(query)
+	return wrap(r), err
+}
+
+// MustExec runs a statement and panics on error; intended for setup code
+// and examples.
+func (db *DB) MustExec(query string) *Result {
+	r, err := db.Exec(query)
+	if err != nil {
+		panic(fmt.Sprintf("grfusion: %v", err))
+	}
+	return r
+}
+
+// Query is Exec with the intent of reading rows; it errors when the
+// statement produces no result set.
+func (db *DB) Query(query string) (*Result, error) {
+	r, err := db.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	if r.Columns == nil {
+		return nil, fmt.Errorf("statement returned no rows: %s", query)
+	}
+	return r, nil
+}
+
+// QueryScalar runs a query expected to return exactly one value.
+func (db *DB) QueryScalar(query string) (Value, error) {
+	r, err := db.Query(query)
+	if err != nil {
+		return types.Null(), err
+	}
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		return types.Null(), fmt.Errorf("expected a single value, got %d row(s)", len(r.Rows))
+	}
+	return r.Rows[0][0], nil
+}
+
+// ExecScript runs a semicolon-separated script, stopping at the first
+// error.
+func (db *DB) ExecScript(script string) error {
+	_, err := db.engine.ExecuteScript(script)
+	return err
+}
+
+// Explain renders the physical query execution pipeline of a SELECT.
+func (db *DB) Explain(query string) (string, error) { return db.engine.Explain(query) }
+
+// Snapshot serializes the whole database (schema, rows, indexes, and graph
+// view definitions) to w. Topologies are derived state and are rebuilt on
+// Restore.
+func (db *DB) Snapshot(w io.Writer) error { return db.engine.Snapshot(w) }
+
+// Restore loads a Snapshot into an empty database.
+func (db *DB) Restore(r io.Reader) error { return db.engine.Restore(r) }
+
+// Engine exposes the underlying engine for advanced integrations (the
+// benchmark harness uses it to toggle planner options between runs).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Stmt is a prepared, parameterized SELECT: parsed and planned once,
+// executed many times with different `?` values — the VoltDB
+// stored-procedure execution model the paper's system inherits. A Stmt is
+// invalidated by DDL that drops objects its plan uses.
+type Stmt struct {
+	p *core.Prepared
+}
+
+// Prepare compiles a SELECT containing `?` placeholders.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	p, err := db.engine.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{p: p}, nil
+}
+
+// NumParams returns the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.p.NumParams() }
+
+// Query executes the prepared plan. Arguments may be Go ints, floats,
+// strings, bools, nil, or Values.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	params := make([]Value, len(args))
+	for i, a := range args {
+		v, err := ToValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %v", i+1, err)
+		}
+		params[i] = v
+	}
+	r, err := s.p.Query(params...)
+	return wrap(r), err
+}
+
+// DMLStmt is a prepared, parameterized INSERT/UPDATE/DELETE.
+type DMLStmt struct {
+	p *core.PreparedDML
+}
+
+// PrepareDML parses an INSERT, UPDATE or DELETE containing `?`
+// placeholders for repeated execution.
+func (db *DB) PrepareDML(query string) (*DMLStmt, error) {
+	p, err := db.engine.PrepareDML(query)
+	if err != nil {
+		return nil, err
+	}
+	return &DMLStmt{p: p}, nil
+}
+
+// NumParams returns the number of `?` placeholders.
+func (s *DMLStmt) NumParams() int { return s.p.NumParams() }
+
+// Exec runs the prepared DML with the given arguments.
+func (s *DMLStmt) Exec(args ...any) (*Result, error) {
+	params := make([]Value, len(args))
+	for i, a := range args {
+		v, err := ToValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %v", i+1, err)
+		}
+		params[i] = v
+	}
+	r, err := s.p.Exec(params...)
+	return wrap(r), err
+}
+
+// ToValue converts a Go value into an engine Value.
+func ToValue(a any) (Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return types.Null(), nil
+	case Value:
+		return v, nil
+	case bool:
+		return types.NewBool(v), nil
+	case int:
+		return types.NewInt(int64(v)), nil
+	case int32:
+		return types.NewInt(int64(v)), nil
+	case int64:
+		return types.NewInt(v), nil
+	case float32:
+		return types.NewFloat(float64(v)), nil
+	case float64:
+		return types.NewFloat(v), nil
+	case string:
+		return types.NewString(v), nil
+	default:
+		return types.Null(), fmt.Errorf("unsupported parameter type %T", a)
+	}
+}

@@ -1,0 +1,237 @@
+package grfusion
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func openSocial(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{})
+	if err := db.ExecScript(`
+		CREATE TABLE Users (uid BIGINT PRIMARY KEY, name VARCHAR, job VARCHAR);
+		CREATE TABLE Friends (fid BIGINT PRIMARY KEY, a BIGINT, b BIGINT, since BIGINT);
+		INSERT INTO Users VALUES (1,'ann','Lawyer'),(2,'bob','Doctor'),(3,'cady','Engineer');
+		INSERT INTO Friends VALUES (10,1,2,2001),(11,2,3,2010);
+		CREATE UNDIRECTED GRAPH VIEW Social
+			VERTEXES(ID = uid, name = name, job = job) FROM Users
+			EDGES(ID = fid, FROM = a, TO = b, since = since) FROM Friends;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestExecAndQuery(t *testing.T) {
+	db := openSocial(t)
+	res, err := db.Query(`SELECT name FROM Users WHERE job = 'Lawyer'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "ann" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Query on a non-query statement errors.
+	if _, err := db.Query(`INSERT INTO Users VALUES (9,'x','y')`); err == nil {
+		t.Error("Query accepted DML")
+	}
+	// Exec reports affected rows.
+	r, err := db.Exec(`DELETE FROM Users WHERE uid = 9`)
+	if err != nil || r.Affected != 1 {
+		t.Fatalf("affected: %+v, %v", r, err)
+	}
+}
+
+func TestQueryScalar(t *testing.T) {
+	db := openSocial(t)
+	v, err := db.QueryScalar(`SELECT COUNT(*) FROM Users`)
+	if err != nil || v.I != 3 {
+		t.Fatalf("scalar: %v %v", v, err)
+	}
+	if _, err := db.QueryScalar(`SELECT uid FROM Users`); err == nil {
+		t.Error("multi-row scalar accepted")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	db := openSocial(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec did not panic on bad SQL")
+		}
+	}()
+	db.MustExec(`SELEC nonsense`)
+}
+
+func TestCrossModelQueryThroughPublicAPI(t *testing.T) {
+	db := openSocial(t)
+	res, err := db.Query(`
+		SELECT PS.EndVertex.name FROM Users U, Social.Paths PS
+		WHERE U.name = 'ann' AND PS.StartVertex.Id = U.uid AND PS.Length = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "cady" {
+		t.Fatalf("fof: %v", res.Rows)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := openSocial(t)
+	stmt, err := db.Prepare(`
+		SELECT PS.PathString FROM Social.Paths PS
+		WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 2 {
+		t.Fatalf("nparams: %d", stmt.NumParams())
+	}
+	res, err := stmt.Query(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][0].S, "->") {
+		t.Fatalf("prepared result: %v", res.Rows)
+	}
+	// Re-execution with different parameters reuses the plan.
+	res, err = stmt.Query(3, 1)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("re-exec: %v %v", res, err)
+	}
+	// Wrong arity and wrong types error cleanly.
+	if _, err := stmt.Query(1); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := stmt.Query(1, struct{}{}); err == nil {
+		t.Error("bad type accepted")
+	}
+	// Prepare rejects DML.
+	if _, err := db.Prepare(`DELETE FROM Users`); err == nil {
+		t.Error("prepared DML accepted")
+	}
+}
+
+func TestPreparedWithRelationalParams(t *testing.T) {
+	db := openSocial(t)
+	db.MustExec(`CREATE INDEX ix_job ON Users (job)`)
+	stmt, err := db.Prepare(`SELECT name FROM Users WHERE job = ? ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Query("Doctor")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "bob" {
+		t.Fatalf("param query: %v %v", res, err)
+	}
+	res, err = stmt.Query("Lawyer")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "ann" {
+		t.Fatalf("param re-query: %v %v", res, err)
+	}
+}
+
+func TestToValueConversions(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind Kind
+	}{
+		{nil, KindNull}, {true, KindBool}, {int(1), KindInt}, {int32(1), KindInt},
+		{int64(1), KindInt}, {float32(1), KindFloat}, {float64(1), KindFloat},
+		{"x", KindString},
+	}
+	for _, c := range cases {
+		v, err := ToValue(c.in)
+		if err != nil || v.Kind != c.kind {
+			t.Errorf("ToValue(%T) = %v kind %v, err %v", c.in, v, v.Kind, err)
+		}
+	}
+	if _, err := ToValue([]int{1}); err == nil {
+		t.Error("slice accepted")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := openSocial(t)
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open(Config{})
+	if err := db2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Data, topology, and traversability all survive.
+	v, err := db2.QueryScalar(`SELECT COUNT(*) FROM Friends`)
+	if err != nil || v.I != 2 {
+		t.Fatalf("restored rows: %v %v", v, err)
+	}
+	res, err := db2.Query(`
+		SELECT PS.PathString FROM Social.Paths PS
+		WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("restored traversal: %v %v", res, err)
+	}
+	// Updates still maintain the restored view.
+	db2.MustExec(`DELETE FROM Friends WHERE fid = 11`)
+	res, _ = db2.Query(`
+		SELECT PS.PathString FROM Social.Paths PS
+		WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1`)
+	if len(res.Rows) != 0 {
+		t.Fatal("restored view not maintained")
+	}
+	// Restore into a non-empty database fails.
+	var buf2 bytes.Buffer
+	if err := db.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Restore(&buf2); err == nil {
+		t.Error("restore into non-empty db accepted")
+	}
+}
+
+func TestExplainPublicAPI(t *testing.T) {
+	db := openSocial(t)
+	text, err := db.Explain(`SELECT name FROM Users WHERE uid = 1`)
+	if err != nil || !strings.Contains(text, "Scan") {
+		t.Fatalf("explain: %q %v", text, err)
+	}
+	if _, err := db.Explain(`DELETE FROM Users`); err == nil {
+		t.Error("explain of DML accepted")
+	}
+}
+
+func TestMemLimitConfig(t *testing.T) {
+	db := Open(Config{MemLimit: 64})
+	db.MustExec(`CREATE TABLE T (a BIGINT PRIMARY KEY, s VARCHAR)`)
+	db.MustExec(`INSERT INTO T VALUES (1,'aaaaaaaaaaaaaaaa'),(2,'bbbbbbbbbbbbbbbb')`)
+	if _, err := db.Query(`SELECT COUNT(*) FROM T A, T B`); err == nil {
+		t.Error("memory limit ignored")
+	}
+}
+
+func TestConfigDisablePushdownStillCorrect(t *testing.T) {
+	run := func(cfg Config) int {
+		db := Open(cfg)
+		if err := db.ExecScript(`
+			CREATE TABLE N (nid BIGINT PRIMARY KEY);
+			CREATE TABLE E (eid BIGINT PRIMARY KEY, a BIGINT, b BIGINT, w BIGINT);
+			INSERT INTO N VALUES (1),(2),(3),(4);
+			INSERT INTO E VALUES (1,1,2,5),(2,2,3,50),(3,3,4,5),(4,1,3,5);
+			CREATE DIRECTED GRAPH VIEW G VERTEXES(ID=nid) FROM N
+				EDGES(ID=eid, FROM=a, TO=b, w=w) FROM E;
+		`); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(`SELECT COUNT(P) FROM G.Paths P WHERE P.StartVertex.Id = 1 AND P.Edges[0..*].w < 10`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(res.Rows[0][0].I)
+	}
+	a := run(Config{})
+	b := run(Config{DisablePushdown: true})
+	c := run(Config{ForceTraversal: "bfs"})
+	if a != b || a != c {
+		t.Fatalf("configs disagree: %d %d %d", a, b, c)
+	}
+}

@@ -1,0 +1,272 @@
+// Package grail implements the paper's Grail baseline: graph queries
+// compiled to *procedural SQL* over a vanilla relational engine (Grail
+// translates vertex-centric programs into iterative SQL driven by a
+// stored-procedure loop; see §1 and §7 of the GRFusion paper).
+//
+// The driver below plays the stored-procedure interpreter: each traversal
+// iteration is a set-at-a-time SQL statement against frontier/distance
+// tables, and the loop, convergence test, and table swaps run host-side —
+// the same work Grail's generated T-SQL performs inside the DBMS. The
+// engine dialect has no INSERT…SELECT, so the driver ferries each
+// iteration's result set into the next INSERT; this adds per-iteration
+// constant overhead but does not change the asymptotic shape (one
+// relational join + aggregation per frontier expansion, versus GRFusion's
+// single in-memory Dijkstra).
+package grail
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grfusion/internal/core"
+	"grfusion/internal/datagen"
+)
+
+// Driver holds the relational embedding and scratch tables of one graph.
+type Driver struct {
+	eng      *core.Engine
+	prefix   string
+	directed bool
+	vcount   int
+}
+
+// Load embeds the dataset into a dedicated engine (adjacency doubled for
+// undirected graphs) and creates the iteration scratch tables.
+func Load(d *datagen.Dataset, prefix string) (*Driver, error) {
+	eng := core.New(core.Options{})
+	dr := &Driver{eng: eng, prefix: prefix, directed: d.Directed, vcount: len(d.Vertices)}
+	ddl := fmt.Sprintf(`
+		CREATE TABLE %s_e (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE, sel BIGINT);
+		CREATE INDEX %s_e_src ON %s_e (src);
+		CREATE TABLE %s_dist (vid BIGINT PRIMARY KEY, dist DOUBLE);
+		CREATE TABLE %s_frontier (vid BIGINT PRIMARY KEY, dist DOUBLE);
+	`, prefix, prefix, prefix, prefix, prefix)
+	if _, err := eng.ExecuteScript(ddl); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	n := 0
+	eid := int64(0)
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		if _, err := eng.Execute(sb.String()); err != nil {
+			return err
+		}
+		sb.Reset()
+		n = 0
+		return nil
+	}
+	add := func(e datagen.Edge, src, dst int64) error {
+		if n == 0 {
+			fmt.Fprintf(&sb, "INSERT INTO %s_e VALUES ", prefix)
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d, %g, %d)", eid, src, dst, e.Weight, e.Sel)
+		eid++
+		n++
+		if n >= 512 {
+			return flush()
+		}
+		return nil
+	}
+	for _, e := range d.Edges {
+		if err := add(e, e.Src, e.Dst); err != nil {
+			return nil, err
+		}
+		if !d.Directed {
+			if err := add(e, e.Dst, e.Src); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return dr, nil
+}
+
+// Engine exposes the baseline's engine.
+func (dr *Driver) Engine() *core.Engine { return dr.eng }
+
+func (dr *Driver) selPred(alias string, selPct int) string {
+	if selPct < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" AND %s.sel < %d", alias, selPct)
+}
+
+// ShortestPath computes the single-pair shortest distance with the
+// Bellman-Ford-style iterative SQL program Grail generates: each round
+// joins the frontier with the edge table, aggregates candidate distances,
+// and folds improvements back into the distance table; rounds repeat until
+// the frontier empties (non-negative weights make this Dijkstra-like label
+// correcting). Returns ok=false when dst is unreachable.
+func (dr *Driver) ShortestPath(src, dst int64, selPct int) (float64, bool, error) {
+	e := dr.eng
+	p := dr.prefix
+	reset := fmt.Sprintf("DELETE FROM %s_dist; DELETE FROM %s_frontier;", p, p)
+	if _, err := e.ExecuteScript(reset); err != nil {
+		return 0, false, err
+	}
+	seed := fmt.Sprintf("INSERT INTO %s_dist VALUES (%d, 0.0); INSERT INTO %s_frontier VALUES (%d, 0.0);",
+		p, src, p, src)
+	if _, err := e.ExecuteScript(seed); err != nil {
+		return 0, false, err
+	}
+	relax := fmt.Sprintf(`
+		SELECT e.dst, MIN(f.dist + e.w)
+		FROM %s_frontier f, %s_e e
+		WHERE f.vid = e.src%s
+		GROUP BY e.dst`, p, p, dr.selPred("e", selPct))
+
+	for round := 0; round < dr.vcount; round++ {
+		cand, err := e.Execute(relax)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(cand.Rows) == 0 {
+			break
+		}
+		// Current distances of the candidate vertexes.
+		distRes, err := e.Execute(fmt.Sprintf("SELECT vid, dist FROM %s_dist", p))
+		if err != nil {
+			return 0, false, err
+		}
+		cur := make(map[int64]float64, len(distRes.Rows))
+		for _, r := range distRes.Rows {
+			cur[r[0].I] = r[1].F
+		}
+		// Fold improvements into dist and build the next frontier.
+		var updates, inserts, frontier []string
+		for _, r := range cand.Rows {
+			if r[1].IsNull() {
+				continue
+			}
+			v, nd := r[0].I, r[1].AsFloat()
+			old, seen := cur[v]
+			if seen && old <= nd {
+				continue
+			}
+			if seen {
+				updates = append(updates, fmt.Sprintf(
+					"UPDATE %s_dist SET dist = %g WHERE vid = %d", p, nd, v))
+			} else {
+				inserts = append(inserts, fmt.Sprintf("(%d, %g)", v, nd))
+			}
+			frontier = append(frontier, fmt.Sprintf("(%d, %g)", v, nd))
+		}
+		if _, err := e.Execute(fmt.Sprintf("DELETE FROM %s_frontier", p)); err != nil {
+			return 0, false, err
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		if len(inserts) > 0 {
+			if _, err := e.Execute(fmt.Sprintf("INSERT INTO %s_dist VALUES %s",
+				p, strings.Join(inserts, ", "))); err != nil {
+				return 0, false, err
+			}
+		}
+		for _, u := range updates {
+			if _, err := e.Execute(u); err != nil {
+				return 0, false, err
+			}
+		}
+		if _, err := e.Execute(fmt.Sprintf("INSERT INTO %s_frontier VALUES %s",
+			p, strings.Join(frontier, ", "))); err != nil {
+			return 0, false, err
+		}
+	}
+	res, err := e.Execute(fmt.Sprintf("SELECT dist FROM %s_dist WHERE vid = %d", p, dst))
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, false, nil
+	}
+	return res.Rows[0][0].AsFloat(), true, nil
+}
+
+// Reachable runs the BFS variant of the iterative program: unit distances
+// and an early exit as soon as dst enters the distance table. maxHops <= 0
+// means unbounded.
+func (dr *Driver) Reachable(src, dst int64, maxHops, selPct int) (bool, error) {
+	e := dr.eng
+	p := dr.prefix
+	if src == dst {
+		return true, nil
+	}
+	if _, err := e.ExecuteScript(fmt.Sprintf(
+		"DELETE FROM %s_dist; DELETE FROM %s_frontier;", p, p)); err != nil {
+		return false, err
+	}
+	if _, err := e.ExecuteScript(fmt.Sprintf(
+		"INSERT INTO %s_dist VALUES (%d, 0.0); INSERT INTO %s_frontier VALUES (%d, 0.0);",
+		p, src, p, src)); err != nil {
+		return false, err
+	}
+	expand := fmt.Sprintf(`
+		SELECT DISTINCT e.dst FROM %s_frontier f, %s_e e
+		WHERE f.vid = e.src%s`, p, p, dr.selPred("e", selPct))
+	limit := maxHops
+	if limit <= 0 {
+		limit = dr.vcount
+	}
+	for hop := 1; hop <= limit; hop++ {
+		cand, err := e.Execute(expand)
+		if err != nil {
+			return false, err
+		}
+		distRes, err := e.Execute(fmt.Sprintf("SELECT vid FROM %s_dist", p))
+		if err != nil {
+			return false, err
+		}
+		seen := make(map[int64]bool, len(distRes.Rows))
+		for _, r := range distRes.Rows {
+			seen[r[0].I] = true
+		}
+		var fresh []string
+		found := false
+		for _, r := range cand.Rows {
+			v := r[0].I
+			if seen[v] {
+				continue
+			}
+			if v == dst {
+				found = true
+			}
+			fresh = append(fresh, fmt.Sprintf("(%d, %d.0)", v, hop))
+		}
+		if _, err := e.Execute(fmt.Sprintf("DELETE FROM %s_frontier", p)); err != nil {
+			return false, err
+		}
+		if len(fresh) == 0 {
+			return false, nil
+		}
+		batch := strings.Join(fresh, ", ")
+		if _, err := e.Execute(fmt.Sprintf("INSERT INTO %s_dist VALUES %s", p, batch)); err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+		if _, err := e.Execute(fmt.Sprintf("INSERT INTO %s_frontier VALUES %s", p, batch)); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// Distance returns the recorded distance of v after a ShortestPath run
+// (testing aid). NaN when absent.
+func (dr *Driver) Distance(v int64) float64 {
+	res, err := dr.eng.Execute(fmt.Sprintf("SELECT dist FROM %s_dist WHERE vid = %d", dr.prefix, v))
+	if err != nil || len(res.Rows) == 0 {
+		return math.NaN()
+	}
+	return res.Rows[0][0].AsFloat()
+}

@@ -1,0 +1,135 @@
+package grail
+
+import (
+	"math"
+	"testing"
+
+	"grfusion/internal/datagen"
+	"grfusion/internal/graph"
+)
+
+func TestShortestPathMatchesDijkstra(t *testing.T) {
+	d := datagen.Road(10, 10, 3)
+	g := d.Build()
+	w := map[int64]float64{}
+	for _, e := range d.Edges {
+		w[e.ID] = e.Weight
+	}
+	wf := func(pos int, e *graph.Edge, from, to *graph.Vertex) (float64, bool) { return w[e.ID], true }
+	dr, err := Load(d, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range datagen.ConnectedPairs(g, 6, 11) {
+		want, err := graph.ShortestPath(g, g.Vertex(p.Src), g.Vertex(p.Dst), wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := dr.ShortestPath(p.Src, p.Dst, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || want == nil {
+			t.Fatalf("sp(%v): ok=%v kernel=%v", p, ok, want)
+		}
+		if math.Abs(got-want.Cost) > 1e-9 {
+			t.Errorf("sp(%v) = %g, kernel %g", p, got, want.Cost)
+		}
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	// Two disconnected components.
+	d := &datagen.Dataset{
+		Directed: true,
+		Vertices: []datagen.Vertex{{ID: 1}, {ID: 2}, {ID: 3}},
+		Edges:    []datagen.Edge{{ID: 1, Src: 1, Dst: 2, Weight: 1}},
+	}
+	dr, err := Load(d, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := dr.ShortestPath(1, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unreachable vertex got a distance")
+	}
+	if !math.IsNaN(dr.Distance(3)) {
+		t.Error("Distance of unreachable vertex not NaN")
+	}
+}
+
+func TestShortestPathWithSelectivity(t *testing.T) {
+	// Two routes; the cheap one is filtered out by the selectivity predicate.
+	d := &datagen.Dataset{
+		Directed: true,
+		Vertices: []datagen.Vertex{{ID: 1}, {ID: 2}, {ID: 3}},
+		Edges: []datagen.Edge{
+			{ID: 1, Src: 1, Dst: 3, Weight: 1, Sel: 90}, // direct but high sel
+			{ID: 2, Src: 1, Dst: 2, Weight: 2, Sel: 5},
+			{ID: 3, Src: 2, Dst: 3, Weight: 2, Sel: 5},
+		},
+	}
+	dr, err := Load(d, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := dr.ShortestPath(1, 3, -1)
+	if err != nil || !ok || got != 1 {
+		t.Fatalf("unfiltered: %g %v %v", got, ok, err)
+	}
+	got, ok, err = dr.ShortestPath(1, 3, 50)
+	if err != nil || !ok || got != 4 {
+		t.Fatalf("filtered: %g %v %v", got, ok, err)
+	}
+	_, ok, err = dr.ShortestPath(1, 3, 1)
+	if err != nil || ok {
+		t.Fatalf("over-filtered should be unreachable: %v %v", ok, err)
+	}
+}
+
+func TestReachableMatchesKernel(t *testing.T) {
+	d := datagen.Twitter(200, 3, 13)
+	g := d.Build()
+	dr, err := Load(d, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range datagen.PairsAtDistance(g, 4, 8, 17) {
+		ok, err := dr.Reachable(p.Src, p.Dst, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("pair %v not reachable via iterative SQL", p)
+		}
+		// Hop cap below the distance must fail.
+		ok, err = dr.Reachable(p.Src, p.Dst, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("pair %v at distance 4 reachable within 3 hops", p)
+		}
+	}
+	if ok, _ := dr.Reachable(5, 5, 0, -1); !ok {
+		t.Error("self must be reachable")
+	}
+}
+
+func TestUndirectedEmbeddingDoublesAdjacency(t *testing.T) {
+	d := datagen.Road(4, 4, 9)
+	dr, err := Load(d, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dr.Engine().Execute("SELECT COUNT(*) FROM d_e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != int64(2*len(d.Edges)) {
+		t.Errorf("adjacency rows: %d", res.Rows[0][0].I)
+	}
+}

@@ -1,0 +1,242 @@
+package graphstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"grfusion/internal/types"
+)
+
+// SerializedStore is the Titan-like property graph: vertex and edge
+// records (properties AND adjacency lists) are kept serialized, as a
+// key-value backend would hold them, and decoded on every access. Each hop
+// of a traversal therefore pays a deserialization cost, which is the
+// dominant per-hop overhead the paper observes for Titan.
+type SerializedStore struct {
+	directed bool
+	// vprops / eprops hold serialized property bags.
+	vprops map[int64][]byte
+	eprops map[int64][]byte
+	// adjacency holds each vertex's serialized adjacency record: a list of
+	// (edgeID, otherVertex, isOut) entries.
+	adjacency map[int64][]byte
+	// endpoints holds each edge's serialized (src, dst) record.
+	endpoints map[int64][]byte
+}
+
+// NewSerialized creates an empty serialization-based store.
+func NewSerialized(directed bool) *SerializedStore {
+	return &SerializedStore{
+		directed:  directed,
+		vprops:    make(map[int64][]byte),
+		eprops:    make(map[int64][]byte),
+		adjacency: make(map[int64][]byte),
+		endpoints: make(map[int64][]byte),
+	}
+}
+
+// Directed implements GraphDB.
+func (s *SerializedStore) Directed() bool { return s.directed }
+
+// HasVertex implements GraphDB.
+func (s *SerializedStore) HasVertex(id int64) bool { _, ok := s.vprops[id]; return ok }
+
+// VertexIDs implements GraphDB.
+func (s *SerializedStore) VertexIDs() []int64 {
+	out := make([]int64, 0, len(s.vprops))
+	for id := range s.vprops {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddVertex implements GraphDB.
+func (s *SerializedStore) AddVertex(id int64, p Props) error {
+	if _, dup := s.vprops[id]; dup {
+		return fmt.Errorf("graphstore: duplicate vertex %d", id)
+	}
+	s.vprops[id] = encodeProps(p)
+	s.adjacency[id] = nil
+	return nil
+}
+
+// AddEdge implements GraphDB.
+func (s *SerializedStore) AddEdge(id, src, dst int64, p Props) error {
+	if _, dup := s.eprops[id]; dup {
+		return fmt.Errorf("graphstore: duplicate edge %d", id)
+	}
+	if _, ok := s.vprops[src]; !ok {
+		return fmt.Errorf("graphstore: edge %d references missing vertex %d", id, src)
+	}
+	if _, ok := s.vprops[dst]; !ok {
+		return fmt.Errorf("graphstore: edge %d references missing vertex %d", id, dst)
+	}
+	s.eprops[id] = encodeProps(p)
+	var ep []byte
+	ep = binary.AppendVarint(ep, src)
+	ep = binary.AppendVarint(ep, dst)
+	s.endpoints[id] = ep
+	s.adjacency[src] = appendAdj(s.adjacency[src], id, dst, true)
+	s.adjacency[dst] = appendAdj(s.adjacency[dst], id, src, false)
+	return nil
+}
+
+// RemoveEdge implements GraphDB. The adjacency records of both endpoints
+// are decoded, filtered, and re-encoded — the write amplification a
+// serialize-everything backend pays.
+func (s *SerializedStore) RemoveEdge(id int64) bool {
+	ep, ok := s.endpoints[id]
+	if !ok {
+		return false
+	}
+	src, n := binary.Varint(ep)
+	dst, _ := binary.Varint(ep[n:])
+	delete(s.endpoints, id)
+	delete(s.eprops, id)
+	s.adjacency[src] = filterAdj(s.adjacency[src], id)
+	s.adjacency[dst] = filterAdj(s.adjacency[dst], id)
+	return true
+}
+
+// Neighbors implements GraphDB, decoding the adjacency record as it goes.
+func (s *SerializedStore) Neighbors(id int64, fn func(edgeID, other int64) bool) {
+	rec := s.adjacency[id]
+	for len(rec) > 0 {
+		edge, n := binary.Varint(rec)
+		rec = rec[n:]
+		other, n := binary.Varint(rec)
+		rec = rec[n:]
+		isOut := rec[0] == 1
+		rec = rec[1:]
+		if !isOut && (s.directed || other == id) {
+			continue
+		}
+		if !fn(edge, other) {
+			return
+		}
+	}
+}
+
+// VertexProps implements GraphDB (decodes on every call).
+func (s *SerializedStore) VertexProps(id int64) Props { return decodeProps(s.vprops[id]) }
+
+// EdgeProps implements GraphDB (decodes on every call).
+func (s *SerializedStore) EdgeProps(id int64) Props { return decodeProps(s.eprops[id]) }
+
+// Counts implements GraphDB.
+func (s *SerializedStore) Counts() (int, int) { return len(s.vprops), len(s.eprops) }
+
+func appendAdj(rec []byte, edge, other int64, out bool) []byte {
+	rec = binary.AppendVarint(rec, edge)
+	rec = binary.AppendVarint(rec, other)
+	if out {
+		rec = append(rec, 1)
+	} else {
+		rec = append(rec, 0)
+	}
+	return rec
+}
+
+func filterAdj(rec []byte, drop int64) []byte {
+	var out []byte
+	for len(rec) > 0 {
+		edge, n := binary.Varint(rec)
+		entryStart := rec
+		rec = rec[n:]
+		other, n2 := binary.Varint(rec)
+		rec = rec[n2:]
+		isOut := rec[0]
+		rec = rec[1:]
+		_ = other
+		_ = isOut
+		if edge == drop {
+			continue
+		}
+		out = append(out, entryStart[:n+n2+1]...)
+	}
+	return out
+}
+
+// Property codec: repeated (key, kind, value) entries with varint lengths.
+
+const (
+	tagNull byte = iota
+	tagBool
+	tagInt
+	tagFloat
+	tagString
+)
+
+func encodeProps(p Props) []byte {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+		v := p[k]
+		switch v.Kind {
+		case types.KindBool:
+			out = append(out, tagBool)
+			if v.B {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case types.KindInt:
+			out = append(out, tagInt)
+			out = binary.AppendVarint(out, v.I)
+		case types.KindFloat:
+			out = append(out, tagFloat)
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F))
+		case types.KindString:
+			out = append(out, tagString)
+			out = binary.AppendUvarint(out, uint64(len(v.S)))
+			out = append(out, v.S...)
+		default:
+			out = append(out, tagNull)
+		}
+	}
+	return out
+}
+
+func decodeProps(rec []byte) Props {
+	if rec == nil {
+		return nil
+	}
+	out := make(Props)
+	for len(rec) > 0 {
+		klen, n := binary.Uvarint(rec)
+		rec = rec[n:]
+		key := string(rec[:klen])
+		rec = rec[klen:]
+		tag := rec[0]
+		rec = rec[1:]
+		switch tag {
+		case tagBool:
+			out[key] = types.NewBool(rec[0] == 1)
+			rec = rec[1:]
+		case tagInt:
+			v, n := binary.Varint(rec)
+			rec = rec[n:]
+			out[key] = types.NewInt(v)
+		case tagFloat:
+			out[key] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(rec)))
+			rec = rec[8:]
+		case tagString:
+			slen, n := binary.Uvarint(rec)
+			rec = rec[n:]
+			out[key] = types.NewString(string(rec[:slen]))
+			rec = rec[slen:]
+		default:
+			out[key] = types.Null()
+		}
+	}
+	return out
+}

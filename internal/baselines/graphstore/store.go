@@ -1,0 +1,203 @@
+// Package graphstore implements standalone in-memory property-graph
+// databases standing in for the specialized graph systems the paper
+// compares against (Neo4j and Titan, §7). Both follow the Native
+// Graph-Core architecture of Figure 1(b): they own their data — vertex and
+// edge attributes live inside the store, not in relational tuples — so
+// keeping them in sync with an RDBMS requires re-extraction (the cost
+// Fig. 11 measures).
+//
+// Store keeps properties in per-element maps (a Neo4j-like native layout);
+// SerializedStore keeps properties and adjacency serialized per element
+// and decodes them on every access (a Titan-like layout over a key-value
+// backend). The paper attributes GRFusion's wins over these systems to
+// exactly such "implementation factors" — per-hop property boxing and
+// deserialization versus raw tuple pointers.
+package graphstore
+
+import (
+	"fmt"
+	"sort"
+
+	"grfusion/internal/types"
+)
+
+// Props is a property bag for one vertex or edge.
+type Props map[string]types.Value
+
+// GraphDB is the store interface the shared traversal algorithms run over.
+type GraphDB interface {
+	// Directed reports the graph's edge semantics.
+	Directed() bool
+	// HasVertex reports whether the vertex exists.
+	HasVertex(id int64) bool
+	// VertexIDs returns all vertex ids in ascending order.
+	VertexIDs() []int64
+	// Neighbors enumerates the traversable (edge, other endpoint) pairs of
+	// a vertex until fn returns false.
+	Neighbors(id int64, fn func(edgeID, other int64) bool)
+	// VertexProps returns a vertex's properties (decoded view).
+	VertexProps(id int64) Props
+	// EdgeProps returns an edge's properties (decoded view).
+	EdgeProps(id int64) Props
+	// AddVertex inserts a vertex.
+	AddVertex(id int64, p Props) error
+	// AddEdge inserts an edge between existing vertexes.
+	AddEdge(id, src, dst int64, p Props) error
+	// RemoveEdge deletes an edge, reporting whether it existed.
+	RemoveEdge(id int64) bool
+	// Counts returns the vertex and edge counts.
+	Counts() (vertices, edges int)
+}
+
+// --- Map-based store (Neo4j-like) ------------------------------------------
+
+type mapVertex struct {
+	props Props
+	out   []adj
+	in    []adj
+}
+
+type adj struct {
+	edge  int64
+	other int64
+}
+
+type mapEdge struct {
+	src, dst int64
+	props    Props
+}
+
+// Store is the map-based property graph.
+type Store struct {
+	directed bool
+	vertices map[int64]*mapVertex
+	edges    map[int64]*mapEdge
+}
+
+// New creates an empty map-based store.
+func New(directed bool) *Store {
+	return &Store{
+		directed: directed,
+		vertices: make(map[int64]*mapVertex),
+		edges:    make(map[int64]*mapEdge),
+	}
+}
+
+// Directed implements GraphDB.
+func (s *Store) Directed() bool { return s.directed }
+
+// HasVertex implements GraphDB.
+func (s *Store) HasVertex(id int64) bool { _, ok := s.vertices[id]; return ok }
+
+// VertexIDs implements GraphDB.
+func (s *Store) VertexIDs() []int64 {
+	out := make([]int64, 0, len(s.vertices))
+	for id := range s.vertices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddVertex implements GraphDB.
+func (s *Store) AddVertex(id int64, p Props) error {
+	if _, dup := s.vertices[id]; dup {
+		return fmt.Errorf("graphstore: duplicate vertex %d", id)
+	}
+	s.vertices[id] = &mapVertex{props: cloneProps(p)}
+	return nil
+}
+
+// AddEdge implements GraphDB.
+func (s *Store) AddEdge(id, src, dst int64, p Props) error {
+	if _, dup := s.edges[id]; dup {
+		return fmt.Errorf("graphstore: duplicate edge %d", id)
+	}
+	sv, ok := s.vertices[src]
+	if !ok {
+		return fmt.Errorf("graphstore: edge %d references missing vertex %d", id, src)
+	}
+	dv, ok := s.vertices[dst]
+	if !ok {
+		return fmt.Errorf("graphstore: edge %d references missing vertex %d", id, dst)
+	}
+	s.edges[id] = &mapEdge{src: src, dst: dst, props: cloneProps(p)}
+	sv.out = append(sv.out, adj{edge: id, other: dst})
+	dv.in = append(dv.in, adj{edge: id, other: src})
+	return nil
+}
+
+// RemoveEdge implements GraphDB.
+func (s *Store) RemoveEdge(id int64) bool {
+	e, ok := s.edges[id]
+	if !ok {
+		return false
+	}
+	delete(s.edges, id)
+	sv := s.vertices[e.src]
+	sv.out = removeAdj(sv.out, id)
+	dv := s.vertices[e.dst]
+	dv.in = removeAdj(dv.in, id)
+	return true
+}
+
+func removeAdj(list []adj, edge int64) []adj {
+	for i := range list {
+		if list[i].edge == edge {
+			copy(list[i:], list[i+1:])
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// Neighbors implements GraphDB.
+func (s *Store) Neighbors(id int64, fn func(edgeID, other int64) bool) {
+	v, ok := s.vertices[id]
+	if !ok {
+		return
+	}
+	for _, a := range v.out {
+		if !fn(a.edge, a.other) {
+			return
+		}
+	}
+	if s.directed {
+		return
+	}
+	for _, a := range v.in {
+		if a.other == id {
+			continue // self-loop already offered
+		}
+		if !fn(a.edge, a.other) {
+			return
+		}
+	}
+}
+
+// VertexProps implements GraphDB.
+func (s *Store) VertexProps(id int64) Props {
+	if v, ok := s.vertices[id]; ok {
+		return v.props
+	}
+	return nil
+}
+
+// EdgeProps implements GraphDB.
+func (s *Store) EdgeProps(id int64) Props {
+	if e, ok := s.edges[id]; ok {
+		return e.props
+	}
+	return nil
+}
+
+// Counts implements GraphDB.
+func (s *Store) Counts() (int, int) { return len(s.vertices), len(s.edges) }
+
+func cloneProps(p Props) Props {
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package graphstore
+
+import (
+	"testing"
+
+	"grfusion/internal/datagen"
+	"grfusion/internal/graph"
+	"grfusion/internal/types"
+)
+
+// stores returns both implementations loaded with the same dataset.
+func stores(t *testing.T, d *datagen.Dataset) map[string]GraphDB {
+	t.Helper()
+	out := map[string]GraphDB{}
+	for name, db := range map[string]GraphDB{
+		"map":        New(d.Directed),
+		"serialized": NewSerialized(d.Directed),
+	} {
+		if err := Load(db, d); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = db
+	}
+	return out
+}
+
+func TestLoadCountsAndProps(t *testing.T) {
+	d := datagen.Protein(200, 4, 3)
+	for name, db := range stores(t, d) {
+		nv, ne := db.Counts()
+		if nv != len(d.Vertices) || ne != len(d.Edges) {
+			t.Errorf("%s: counts %d/%d", name, nv, ne)
+		}
+		p := db.EdgeProps(d.Edges[0].ID)
+		if p["w"].AsFloat() != d.Edges[0].Weight || p["lbl"].S != d.Edges[0].Label {
+			t.Errorf("%s: edge props %v", name, p)
+		}
+		vp := db.VertexProps(d.Vertices[5].ID)
+		if vp["name"].S != d.Vertices[5].Name {
+			t.Errorf("%s: vertex props %v", name, vp)
+		}
+	}
+}
+
+func TestStoreBasicErrors(t *testing.T) {
+	for _, db := range []GraphDB{New(true), NewSerialized(true)} {
+		if err := db.AddVertex(1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddVertex(1, nil); err == nil {
+			t.Error("duplicate vertex accepted")
+		}
+		if err := db.AddEdge(1, 1, 99, nil); err == nil {
+			t.Error("dangling edge accepted")
+		}
+		db.AddVertex(2, nil)
+		if err := db.AddEdge(1, 1, 2, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddEdge(1, 2, 1, nil); err == nil {
+			t.Error("duplicate edge accepted")
+		}
+		if !db.RemoveEdge(1) || db.RemoveEdge(1) {
+			t.Error("remove edge broken")
+		}
+		_, ne := db.Counts()
+		if ne != 0 {
+			t.Error("edge count after removal")
+		}
+	}
+}
+
+func TestNeighborsUndirectedBothWays(t *testing.T) {
+	d := &datagen.Dataset{
+		Name: "mini", Directed: false,
+		Vertices: []datagen.Vertex{{ID: 1}, {ID: 2}},
+		Edges:    []datagen.Edge{{ID: 7, Src: 1, Dst: 2, Weight: 1}},
+	}
+	for name, db := range stores(t, d) {
+		var from2 []int64
+		db.Neighbors(2, func(e, o int64) bool { from2 = append(from2, o); return true })
+		if len(from2) != 1 || from2[0] != 1 {
+			t.Errorf("%s: undirected reverse neighbors = %v", name, from2)
+		}
+	}
+}
+
+func TestReachableAgainstKernel(t *testing.T) {
+	d := datagen.Twitter(300, 3, 9)
+	g := d.Build()
+	pairs := append(datagen.PairsAtDistance(g, 3, 10, 1), datagen.PairsAtDistance(g, 6, 10, 2)...)
+	for name, db := range stores(t, d) {
+		for _, p := range pairs {
+			want := graph.Reachable(g, g.Vertex(p.Src), g.Vertex(p.Dst), 0)
+			if got := Reachable(db, p.Src, p.Dst, 0, nil); got != want {
+				t.Errorf("%s: reachable(%v) = %v, want %v", name, p, got, want)
+			}
+		}
+		// Unreachable sanity: reversed twitter pairs are usually one-way,
+		// so just check self and missing vertices.
+		if !Reachable(db, pairs[0].Src, pairs[0].Src, 0, nil) {
+			t.Errorf("%s: self not reachable", name)
+		}
+		if Reachable(db, pairs[0].Src, 1<<40, 0, nil) {
+			t.Errorf("%s: missing vertex reachable", name)
+		}
+	}
+}
+
+func TestReachableHopLimitAndFilter(t *testing.T) {
+	d := datagen.Road(12, 12, 4)
+	g := d.Build()
+	pairs := datagen.PairsAtDistance(g, 5, 5, 3)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	for name, db := range stores(t, d) {
+		p := pairs[0]
+		if Reachable(db, p.Src, p.Dst, 4, nil) {
+			t.Errorf("%s: distance-5 pair reachable within 4 hops", name)
+		}
+		if !Reachable(db, p.Src, p.Dst, 5, nil) {
+			t.Errorf("%s: distance-5 pair not reachable within 5 hops", name)
+		}
+		// A filter admitting nothing disconnects everything.
+		if Reachable(db, p.Src, p.Dst, 0, func(Props) bool { return false }) {
+			t.Errorf("%s: reachable through empty edge set", name)
+		}
+	}
+}
+
+func TestShortestPathAgainstKernel(t *testing.T) {
+	d := datagen.Road(15, 15, 6)
+	g := d.Build()
+	w := map[int64]float64{}
+	for _, e := range d.Edges {
+		w[e.ID] = e.Weight
+	}
+	wf := func(pos int, e *graph.Edge, from, to *graph.Vertex) (float64, bool) { return w[e.ID], true }
+	pairs := datagen.ConnectedPairs(g, 10, 5)
+	for name, db := range stores(t, d) {
+		for _, p := range pairs {
+			want, err := graph.ShortestPath(g, g.Vertex(p.Src), g.Vertex(p.Dst), wf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost, _, ok := ShortestPath(db, p.Src, p.Dst, "w", nil)
+			if !ok || want == nil {
+				t.Fatalf("%s: sp(%v) ok=%v kernel=%v", name, p, ok, want)
+			}
+			if diff := cost - want.Cost; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: sp(%v) = %g, kernel %g", name, p, cost, want.Cost)
+			}
+		}
+	}
+}
+
+func TestCountTrianglesBothStoresAgree(t *testing.T) {
+	d := datagen.DBLP(10, 6, 8)
+	ss := stores(t, d)
+	a := CountTriangles(ss["map"], nil)
+	b := CountTriangles(ss["serialized"], nil)
+	if a != b {
+		t.Fatalf("stores disagree: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("dblp communities must contain triangles")
+	}
+	// Selectivity monotonicity.
+	half := CountTriangles(ss["map"], func(p Props) bool { return p["sel"].I < 50 })
+	if half > a {
+		t.Errorf("filtered count %d exceeds unfiltered %d", half, a)
+	}
+}
+
+func TestCountTrianglesKnownGraph(t *testing.T) {
+	// A single undirected triangle: expect 6 closed 3-walks.
+	d := &datagen.Dataset{
+		Directed: false,
+		Vertices: []datagen.Vertex{{ID: 1}, {ID: 2}, {ID: 3}},
+		Edges: []datagen.Edge{
+			{ID: 1, Src: 1, Dst: 2, Weight: 1},
+			{ID: 2, Src: 2, Dst: 3, Weight: 1},
+			{ID: 3, Src: 3, Dst: 1, Weight: 1},
+		},
+	}
+	for name, db := range stores(t, d) {
+		if got := CountTriangles(db, nil); got != 6 {
+			t.Errorf("%s: undirected triangle walks = %d, want 6", name, got)
+		}
+	}
+	// Directed 3-cycle: expect 3.
+	d.Directed = true
+	dirStores := stores(t, d)
+	for name, db := range dirStores {
+		if got := CountTriangles(db, nil); got != 3 {
+			t.Errorf("%s: directed triangle walks = %d, want 3", name, got)
+		}
+	}
+}
+
+func TestReextract(t *testing.T) {
+	d := datagen.Protein(100, 3, 2)
+	db, err := Reextract(d.Directed, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, ne := db.Counts()
+	if nv != len(d.Vertices) || ne != len(d.Edges) {
+		t.Fatalf("reextract counts: %d %d", nv, ne)
+	}
+	sdb, err := Reextract(d.Directed, d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sdb.(*SerializedStore); !ok {
+		t.Fatal("serialized reextract returned wrong type")
+	}
+}
+
+func TestSerializedPropsRoundTrip(t *testing.T) {
+	p := Props{
+		"i": types.NewInt(-42),
+		"f": types.NewFloat(2.75),
+		"s": types.NewString("héllo"),
+		"b": types.NewBool(true),
+		"n": types.Null(),
+	}
+	got := decodeProps(encodeProps(p))
+	if len(got) != len(p) {
+		t.Fatalf("lost keys: %v", got)
+	}
+	for k, v := range p {
+		if !types.Equal(got[k], v) && !(v.IsNull() && got[k].IsNull()) {
+			t.Errorf("key %s: %v != %v", k, got[k], v)
+		}
+	}
+}

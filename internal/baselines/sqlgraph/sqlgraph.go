@@ -1,0 +1,190 @@
+// Package sqlgraph implements the paper's Native Relational-Core baseline
+// (SQLGraph, Figure 1(a)): the graph is embedded into plain relational
+// tables inside a vanilla relational engine, and every graph query is
+// translated into SQL whose traversal steps become relational self-joins —
+// one join per hop. No engine internals are touched.
+//
+// The baseline runs on the same relational engine as GRFusion but with
+// VoltDB's materialize-per-fragment execution model enabled
+// (plan.Options.MaterializeJoins), which is what makes deep traversals
+// accumulate huge intermediate temp tables and abort on skewed graphs
+// (§7.2's Twitter observation). A Pipelined mode is also provided,
+// modeling the paper's fallback run on a pipelining disk RDBMS.
+package sqlgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"grfusion/internal/core"
+	"grfusion/internal/datagen"
+	"grfusion/internal/plan"
+)
+
+// Mode selects the execution model of the underlying relational engine.
+type Mode uint8
+
+// Execution modes.
+const (
+	// Materialized reproduces VoltDB: every join result lands in a temp
+	// table charged against the engine's intermediate-memory budget.
+	Materialized Mode = iota
+	// Pipelined streams rows between joins (the commercial disk-RDBMS
+	// fallback of §7.2) — it does not abort on memory, it just keeps
+	// enumerating walks.
+	Pipelined
+)
+
+// Store is a graph embedded into relational tables.
+type Store struct {
+	eng      *core.Engine
+	prefix   string
+	directed bool
+}
+
+// Load embeds the dataset into fresh vertex/edge tables inside a dedicated
+// engine instance. Undirected graphs are embedded with one adjacency row
+// per direction, the standard relational encoding. memLimit bounds the
+// engine's intermediate-result memory (0 = unlimited).
+func Load(d *datagen.Dataset, prefix string, mode Mode, memLimit int64) (*Store, error) {
+	eng := core.New(core.Options{
+		MemLimit: memLimit,
+		Plan:     plan.Options{MaterializeJoins: mode == Materialized},
+	})
+	s := &Store{eng: eng, prefix: prefix, directed: d.Directed}
+	ddl := fmt.Sprintf(`
+		CREATE TABLE %s_v (vid BIGINT PRIMARY KEY, name VARCHAR);
+		CREATE TABLE %s_e (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE, sel BIGINT, lbl VARCHAR);
+		CREATE INDEX %s_e_src ON %s_e (src);
+	`, prefix, prefix, prefix, prefix)
+	if _, err := eng.ExecuteScript(ddl); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	flushEvery := 512
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		if _, err := eng.Execute(sb.String()); err != nil {
+			return err
+		}
+		sb.Reset()
+		n = 0
+		return nil
+	}
+	for _, v := range d.Vertices {
+		if n == 0 {
+			fmt.Fprintf(&sb, "INSERT INTO %s_v VALUES ", prefix)
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, '%s')", v.ID, v.Name)
+		n++
+		if n >= flushEvery {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	nextEID := int64(0)
+	addEdge := func(e datagen.Edge, src, dst int64) {
+		if n == 0 {
+			fmt.Fprintf(&sb, "INSERT INTO %s_e VALUES ", prefix)
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d, %g, %d, '%s')", nextEID, src, dst, e.Weight, e.Sel, e.Label)
+		nextEID++
+		n++
+	}
+	for _, e := range d.Edges {
+		addEdge(e, e.Src, e.Dst)
+		if n >= flushEvery {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		if !d.Directed {
+			addEdge(e, e.Dst, e.Src)
+			if n >= flushEvery {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Engine exposes the baseline's engine (tests inspect it).
+func (s *Store) Engine() *core.Engine { return s.eng }
+
+// ReachabilityQuery renders the SQL translation of an exact-length
+// reachability query: hops self-joins of the edge table. selPct < 0 omits
+// the selectivity predicate; otherwise each hop filters `sel < selPct`.
+func (s *Store) ReachabilityQuery(src, dst int64, hops, selPct int) string {
+	var from, where []string
+	for i := 0; i < hops; i++ {
+		from = append(from, fmt.Sprintf("%s_e e%d", s.prefix, i))
+		if i > 0 {
+			where = append(where, fmt.Sprintf("e%d.dst = e%d.src", i-1, i))
+		}
+		if selPct >= 0 {
+			where = append(where, fmt.Sprintf("e%d.sel < %d", i, selPct))
+		}
+	}
+	where = append(where, fmt.Sprintf("e0.src = %d", src))
+	where = append(where, fmt.Sprintf("e%d.dst = %d", hops-1, dst))
+	return fmt.Sprintf("SELECT 1 FROM %s WHERE %s LIMIT 1",
+		strings.Join(from, ", "), strings.Join(where, " AND "))
+}
+
+// Reachable runs the translated reachability query. It reports the
+// traversal result, or an error when the engine aborts (e.g. the
+// intermediate-memory limit trips, the paper's Twitter failure mode).
+func (s *Store) Reachable(src, dst int64, hops, selPct int) (bool, error) {
+	if hops < 1 {
+		return src == dst, nil
+	}
+	res, err := s.eng.Execute(s.ReachabilityQuery(src, dst, hops, selPct))
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+// TriangleQuery renders the SQL translation of the triangle-counting
+// pattern (Listing 4's shape): three self-joins closing a cycle.
+func (s *Store) TriangleQuery(selPct int) string {
+	where := []string{
+		"e0.dst = e1.src", "e1.dst = e2.src", "e2.dst = e0.src",
+		"e1.eid <> e0.eid", "e2.eid <> e1.eid", "e2.eid <> e0.eid",
+		"e1.src <> e0.src", "e2.src <> e0.src", // simple interior
+	}
+	if selPct >= 0 {
+		for i := 0; i < 3; i++ {
+			where = append(where, fmt.Sprintf("e%d.sel < %d", i, selPct))
+		}
+	}
+	return fmt.Sprintf("SELECT COUNT(*) FROM %s_e e0, %s_e e1, %s_e e2 WHERE %s",
+		s.prefix, s.prefix, s.prefix, strings.Join(where, " AND "))
+}
+
+// CountTriangles runs the translated triangle query and returns the closed
+// length-3 path count (the same multiplicity semantics as GRFusion's
+// cycle-closure query and the graph stores' CountTriangles).
+func (s *Store) CountTriangles(selPct int) (int64, error) {
+	res, err := s.eng.Execute(s.TriangleQuery(selPct))
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows[0][0].I, nil
+}

@@ -1,0 +1,194 @@
+// Package catalog is the system catalog: it tracks tables, indexes, and
+// graph views, including the relational-source → graph-view dependency
+// edges that drive online graph-view maintenance under DML (§3.3 of the
+// paper).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// Catalog is the schema registry of one database. It is not internally
+// synchronized; the engine serializes access.
+type Catalog struct {
+	tables map[string]*storage.Table
+	views  map[string]*GraphView
+
+	// deps maps a lower-cased table name to the graph views that use it as
+	// a vertex or edge relational-source.
+	deps map[string][]*GraphView
+
+	// matviews maps lower-cased names to materialized views; matDeps maps
+	// a base table name to the materialized views defined over it.
+	matviews map[string]*MatView
+	matDeps  map[string][]*MatView
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*storage.Table),
+		views:    make(map[string]*GraphView),
+		deps:     make(map[string][]*GraphView),
+		matviews: make(map[string]*MatView),
+		matDeps:  make(map[string][]*MatView),
+	}
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(t *storage.Table) error {
+	key := strings.ToLower(t.Name())
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("table %s already exists", t.Name())
+	}
+	if _, dup := c.views[key]; dup {
+		return fmt.Errorf("cannot create table %s: a graph view of that name exists", t.Name())
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*storage.Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// DropTable removes a table. It fails while any graph view or
+// materialized view depends on it, and refuses materialized-view backing
+// tables (use DropMatView).
+func (c *Catalog) DropTable(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("unknown table %s", name)
+	}
+	if c.IsMatViewTable(name) {
+		return fmt.Errorf("%s is a materialized view; use DROP MATERIALIZED VIEW", name)
+	}
+	if vs := c.deps[key]; len(vs) > 0 {
+		names := make([]string, len(vs))
+		for i, v := range vs {
+			names[i] = v.Name
+		}
+		sort.Strings(names)
+		return fmt.Errorf("table %s is a relational source of graph view(s) %s",
+			name, strings.Join(names, ", "))
+	}
+	if ds := c.matDeps[key]; len(ds) > 0 {
+		return fmt.Errorf("table %s is the base of materialized view %s", name, ds[0].Name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		out = append(out, c.tables[k].Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterGraphView installs a built graph view and records its source
+// dependencies.
+func (c *Catalog) RegisterGraphView(gv *GraphView) error {
+	key := strings.ToLower(gv.Name)
+	if _, dup := c.views[key]; dup {
+		return fmt.Errorf("graph view %s already exists", gv.Name)
+	}
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("cannot create graph view %s: a table of that name exists", gv.Name)
+	}
+	c.views[key] = gv
+	c.addDep(gv.VertexSource, gv)
+	if !strings.EqualFold(gv.EdgeSource, gv.VertexSource) {
+		c.addDep(gv.EdgeSource, gv)
+	}
+	return nil
+}
+
+func (c *Catalog) addDep(table string, gv *GraphView) {
+	key := strings.ToLower(table)
+	c.deps[key] = append(c.deps[key], gv)
+}
+
+// GraphView looks up a graph view by name (case-insensitive).
+func (c *Catalog) GraphView(name string) (*GraphView, bool) {
+	gv, ok := c.views[strings.ToLower(name)]
+	return gv, ok
+}
+
+// DropGraphView removes a graph view and its dependency records.
+func (c *Catalog) DropGraphView(name string) error {
+	key := strings.ToLower(name)
+	gv, ok := c.views[key]
+	if !ok {
+		return fmt.Errorf("unknown graph view %s", name)
+	}
+	delete(c.views, key)
+	for tbl, vs := range c.deps {
+		kept := vs[:0]
+		for _, v := range vs {
+			if v != gv {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.deps, tbl)
+		} else {
+			c.deps[tbl] = kept
+		}
+	}
+	return nil
+}
+
+// GraphViews returns all graph-view names in sorted order.
+func (c *Catalog) GraphViews() []string {
+	out := make([]string, 0, len(c.views))
+	for k := range c.views {
+		out = append(out, c.views[k].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependentViews returns the graph views that use the named table as a
+// relational source; DML on the table must maintain each of them (§3.3).
+func (c *Catalog) DependentViews(table string) []*GraphView {
+	return c.deps[strings.ToLower(table)]
+}
+
+// ResolveRelation resolves a FROM-clause name to either a table or a graph
+// view member (Name.Vertexes / Name.Edges / Name.Paths).
+func (c *Catalog) ResolveRelation(name string) (any, error) {
+	if t, ok := c.Table(name); ok {
+		return t, nil
+	}
+	if gv, ok := c.GraphView(name); ok {
+		return gv, nil
+	}
+	return nil, fmt.Errorf("unknown table or graph view %q", name)
+}
+
+// CheckColumnKinds verifies that a proposed attribute mapping refers to
+// existing columns and returns their positions and kinds.
+func CheckColumnKinds(t *storage.Table, cols []string) ([]int, []types.Kind, error) {
+	pos := make([]int, len(cols))
+	kinds := make([]types.Kind, len(cols))
+	for i, cn := range cols {
+		p, err := t.Schema().Resolve("", cn)
+		if err != nil {
+			return nil, nil, fmt.Errorf("table %s: %v", t.Name(), err)
+		}
+		pos[i] = p
+		kinds[i] = t.Schema().Columns[p].Type
+	}
+	return pos, kinds, nil
+}

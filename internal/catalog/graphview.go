@@ -1,0 +1,515 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"grfusion/internal/graph"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// AttrMap maps one exposed graph-view attribute to a column of its
+// relational source, e.g. `lstname = lname` in Listing 1 of the paper.
+type AttrMap struct {
+	// Name is the attribute name exposed by the graph view.
+	Name string
+	// Source is the column name in the relational source.
+	Source string
+
+	pos  int
+	kind types.Kind
+}
+
+// Reserved attribute names inside VERTEXES(...) / EDGES(...) clauses.
+const (
+	AttrID   = "ID"
+	AttrFrom = "FROM"
+	AttrTo   = "TO"
+)
+
+// Extended-tuple property columns appended to the exposed schemas (§5.2).
+const (
+	PropFanOut = "FANOUT"
+	PropFanIn  = "FANIN"
+	// PathColumn is the single column produced by a PathScan; it carries a
+	// KindPath value that path expressions decompose.
+	PathColumn = "__path"
+)
+
+// GraphView is a materialized graph view: the catalog definition, the
+// native topology, and the exposed Vertex/Edge schemas (§3).
+type GraphView struct {
+	Name     string
+	Directed bool
+
+	// VertexSource and EdgeSource are the relational sources' table names.
+	VertexSource, EdgeSource string
+
+	// VertexAttrs and EdgeAttrs are the declared attribute mappings, in
+	// declaration order. VertexAttrs contains an ID entry; EdgeAttrs
+	// contains ID, FROM and TO entries.
+	VertexAttrs, EdgeAttrs []AttrMap
+
+	vtab, etab *storage.Table
+	vIDPos     int
+	eIDPos     int
+	eFromPos   int
+	eToPos     int
+
+	// G is the singleton native topology (§3.2).
+	G *graph.Graph
+
+	vSchema, eSchema *types.Schema
+
+	// stats holds the §6.3 statistics object, published by the engine's
+	// background refresher when statistics are enabled.
+	stats atomic.Pointer[GraphStats]
+}
+
+// NewGraphView validates a definition against its source tables and builds
+// the topology with a single pass over the sources (§3.2). The sources may
+// be the same table.
+func NewGraphView(name string, directed bool, vtab, etab *storage.Table,
+	vertexAttrs, edgeAttrs []AttrMap) (*GraphView, error) {
+
+	gv := &GraphView{
+		Name:         name,
+		Directed:     directed,
+		VertexSource: vtab.Name(),
+		EdgeSource:   etab.Name(),
+		VertexAttrs:  append([]AttrMap(nil), vertexAttrs...),
+		EdgeAttrs:    append([]AttrMap(nil), edgeAttrs...),
+		vtab:         vtab,
+		etab:         etab,
+		vIDPos:       -1,
+		eIDPos:       -1,
+		eFromPos:     -1,
+		eToPos:       -1,
+	}
+	if err := gv.resolveAttrs(); err != nil {
+		return nil, err
+	}
+	gv.buildSchemas()
+	if err := gv.build(); err != nil {
+		return nil, err
+	}
+	return gv, nil
+}
+
+func (gv *GraphView) resolveAttrs() error {
+	resolve := func(t *storage.Table, attrs []AttrMap, kindMust map[string]bool) error {
+		for i := range attrs {
+			a := &attrs[i]
+			p, err := t.Schema().Resolve("", a.Source)
+			if err != nil {
+				return fmt.Errorf("graph view %s: attribute %s: %v", gv.Name, a.Name, err)
+			}
+			a.pos = p
+			a.kind = t.Schema().Columns[p].Type
+			if kindMust[strings.ToUpper(a.Name)] && a.kind != types.KindInt {
+				return fmt.Errorf("graph view %s: attribute %s must map to a BIGINT column, got %s",
+					gv.Name, a.Name, a.kind)
+			}
+		}
+		return nil
+	}
+	if err := resolve(gv.vtab, gv.VertexAttrs, map[string]bool{AttrID: true}); err != nil {
+		return err
+	}
+	if err := resolve(gv.etab, gv.EdgeAttrs,
+		map[string]bool{AttrID: true, AttrFrom: true, AttrTo: true}); err != nil {
+		return err
+	}
+	for i := range gv.VertexAttrs {
+		if strings.EqualFold(gv.VertexAttrs[i].Name, AttrID) {
+			gv.vIDPos = gv.VertexAttrs[i].pos
+		}
+	}
+	for i := range gv.EdgeAttrs {
+		switch strings.ToUpper(gv.EdgeAttrs[i].Name) {
+		case AttrID:
+			gv.eIDPos = gv.EdgeAttrs[i].pos
+		case AttrFrom:
+			gv.eFromPos = gv.EdgeAttrs[i].pos
+		case AttrTo:
+			gv.eToPos = gv.EdgeAttrs[i].pos
+		}
+	}
+	switch {
+	case gv.vIDPos < 0:
+		return fmt.Errorf("graph view %s: VERTEXES clause must declare ID", gv.Name)
+	case gv.eIDPos < 0:
+		return fmt.Errorf("graph view %s: EDGES clause must declare ID", gv.Name)
+	case gv.eFromPos < 0 || gv.eToPos < 0:
+		return fmt.Errorf("graph view %s: EDGES clause must declare FROM and TO", gv.Name)
+	}
+	return nil
+}
+
+func (gv *GraphView) buildSchemas() {
+	vcols := make([]types.Column, 0, len(gv.VertexAttrs)+2)
+	for _, a := range gv.VertexAttrs {
+		vcols = append(vcols, types.Column{Name: a.Name, Type: a.kind})
+	}
+	vcols = append(vcols,
+		types.Column{Name: PropFanOut, Type: types.KindInt},
+		types.Column{Name: PropFanIn, Type: types.KindInt})
+	gv.vSchema = types.NewSchema(vcols...)
+
+	ecols := make([]types.Column, 0, len(gv.EdgeAttrs))
+	for _, a := range gv.EdgeAttrs {
+		ecols = append(ecols, types.Column{Name: a.Name, Type: a.kind})
+	}
+	gv.eSchema = types.NewSchema(ecols...)
+}
+
+func (gv *GraphView) build() error {
+	gv.G = graph.New(gv.Name, gv.Directed)
+	var err error
+	gv.vtab.Scan(func(id storage.RowID, row types.Row) bool {
+		var vid int64
+		vid, err = intAttr(row, gv.vIDPos, "vertex ID")
+		if err == nil {
+			_, err = gv.G.AddVertex(vid, uint64(id))
+		}
+		return err == nil
+	})
+	if err != nil {
+		return fmt.Errorf("graph view %s: %v", gv.Name, err)
+	}
+	gv.etab.Scan(func(id storage.RowID, row types.Row) bool {
+		err = gv.addEdgeFromRow(id, row)
+		return err == nil
+	})
+	if err != nil {
+		return fmt.Errorf("graph view %s: %v", gv.Name, err)
+	}
+	return nil
+}
+
+func (gv *GraphView) addEdgeFromRow(id storage.RowID, row types.Row) error {
+	eid, err := intAttr(row, gv.eIDPos, "edge ID")
+	if err != nil {
+		return err
+	}
+	from, err := intAttr(row, gv.eFromPos, "edge FROM")
+	if err != nil {
+		return err
+	}
+	to, err := intAttr(row, gv.eToPos, "edge TO")
+	if err != nil {
+		return err
+	}
+	_, err = gv.G.AddEdge(eid, from, to, uint64(id))
+	return err
+}
+
+func intAttr(row types.Row, pos int, what string) (int64, error) {
+	v := row[pos]
+	if v.Kind != types.KindInt {
+		return 0, fmt.Errorf("%s value %s is not a BIGINT", what, v)
+	}
+	return v.I, nil
+}
+
+// VertexTable returns the vertexes relational-source.
+func (gv *GraphView) VertexTable() *storage.Table { return gv.vtab }
+
+// EdgeTable returns the edges relational-source.
+func (gv *GraphView) EdgeTable() *storage.Table { return gv.etab }
+
+// VertexSchema returns the exposed schema of GV.VERTEXES: the declared
+// attributes followed by the FanOut and FanIn properties (§5.2).
+func (gv *GraphView) VertexSchema() *types.Schema { return gv.vSchema }
+
+// EdgeSchema returns the exposed schema of GV.EDGES.
+func (gv *GraphView) EdgeSchema() *types.Schema { return gv.eSchema }
+
+// VertexRow materializes the extended tuple of a vertex by dereferencing
+// its tuple pointer into the vertexes relational-source.
+func (gv *GraphView) VertexRow(v *graph.Vertex) (types.Row, error) {
+	src, ok := gv.vtab.Get(storage.RowID(v.Tuple))
+	if !ok {
+		return nil, fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d", gv.Name, v.ID)
+	}
+	out := make(types.Row, 0, len(gv.VertexAttrs)+2)
+	for _, a := range gv.VertexAttrs {
+		out = append(out, src[a.pos])
+	}
+	out = append(out,
+		types.NewInt(int64(gv.G.FanOut(v))),
+		types.NewInt(int64(gv.G.FanIn(v))))
+	return out, nil
+}
+
+// EdgeRow materializes the extended tuple of an edge.
+func (gv *GraphView) EdgeRow(e *graph.Edge) (types.Row, error) {
+	src, ok := gv.etab.Get(storage.RowID(e.Tuple))
+	if !ok {
+		return nil, fmt.Errorf("graph view %s: dangling tuple pointer for edge %d", gv.Name, e.ID)
+	}
+	out := make(types.Row, 0, len(gv.EdgeAttrs))
+	for _, a := range gv.EdgeAttrs {
+		out = append(out, src[a.pos])
+	}
+	return out, nil
+}
+
+// VertexAttrValue reads one declared vertex attribute (by exposed name)
+// through the tuple pointer; it also serves the FanOut/FanIn properties.
+func (gv *GraphView) VertexAttrValue(v *graph.Vertex, name string) (types.Value, error) {
+	switch strings.ToUpper(name) {
+	case PropFanOut:
+		return types.NewInt(int64(gv.G.FanOut(v))), nil
+	case PropFanIn:
+		return types.NewInt(int64(gv.G.FanIn(v))), nil
+	}
+	for _, a := range gv.VertexAttrs {
+		if strings.EqualFold(a.Name, name) {
+			src, ok := gv.vtab.Get(storage.RowID(v.Tuple))
+			if !ok {
+				return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d", gv.Name, v.ID)
+			}
+			return src[a.pos], nil
+		}
+	}
+	return types.Null(), fmt.Errorf("graph view %s: unknown vertex attribute %q", gv.Name, name)
+}
+
+// EdgeAttrValue reads one declared edge attribute through the tuple pointer.
+func (gv *GraphView) EdgeAttrValue(e *graph.Edge, name string) (types.Value, error) {
+	for _, a := range gv.EdgeAttrs {
+		if strings.EqualFold(a.Name, name) {
+			src, ok := gv.etab.Get(storage.RowID(e.Tuple))
+			if !ok {
+				return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for edge %d", gv.Name, e.ID)
+			}
+			return src[a.pos], nil
+		}
+	}
+	return types.Null(), fmt.Errorf("graph view %s: unknown edge attribute %q", gv.Name, name)
+}
+
+// EdgeAttrSourcePos resolves a declared edge attribute to its column
+// position within the edges relational-source, letting hot traversal
+// filters dereference tuple pointers directly instead of re-resolving the
+// attribute name per edge.
+func (gv *GraphView) EdgeAttrSourcePos(name string) (int, bool) {
+	for _, a := range gv.EdgeAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.pos, true
+		}
+	}
+	return -1, false
+}
+
+// VertexAttrSourcePos resolves a declared vertex attribute to its source
+// column position. The computed FanIn/FanOut properties have no source
+// column and report ok=false; use VertexAttrValue for those.
+func (gv *GraphView) VertexAttrSourcePos(name string) (int, bool) {
+	up := strings.ToUpper(name)
+	if up == PropFanOut || up == PropFanIn {
+		return -1, false
+	}
+	for _, a := range gv.VertexAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.pos, true
+		}
+	}
+	return -1, false
+}
+
+// HasVertexAttr reports whether name is a declared vertex attribute or
+// vertex property.
+func (gv *GraphView) HasVertexAttr(name string) bool {
+	up := strings.ToUpper(name)
+	if up == PropFanOut || up == PropFanIn {
+		return true
+	}
+	for _, a := range gv.VertexAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdgeAttr reports whether name is a declared edge attribute.
+func (gv *GraphView) HasEdgeAttr(name string) bool {
+	for _, a := range gv.EdgeAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeAttrKind returns the kind of a declared edge attribute.
+func (gv *GraphView) EdgeAttrKind(name string) (types.Kind, bool) {
+	for _, a := range gv.EdgeAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.kind, true
+		}
+	}
+	return types.KindNull, false
+}
+
+// VertexAttrKind returns the kind of a declared vertex attribute/property.
+func (gv *GraphView) VertexAttrKind(name string) (types.Kind, bool) {
+	up := strings.ToUpper(name)
+	if up == PropFanOut || up == PropFanIn {
+		return types.KindInt, true
+	}
+	for _, a := range gv.VertexAttrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.kind, true
+		}
+	}
+	return types.KindNull, false
+}
+
+// --- Online maintenance hooks (§3.3), invoked by the engine inside the
+// --- mutating transaction.
+
+// IsVertexSource reports whether the named table is this view's vertexes
+// relational-source.
+func (gv *GraphView) IsVertexSource(table string) bool {
+	return strings.EqualFold(gv.VertexSource, table)
+}
+
+// IsEdgeSource reports whether the named table is this view's edges
+// relational-source.
+func (gv *GraphView) IsEdgeSource(table string) bool {
+	return strings.EqualFold(gv.EdgeSource, table)
+}
+
+// EdgeRef identifies one topology edge and its tuple pointer, used by the
+// engine to cascade vertex deletions onto the edges relational-source.
+type EdgeRef struct {
+	EdgeID int64
+	Tuple  storage.RowID
+}
+
+// IncidentEdges returns the edges incident to the vertex with the given
+// identifier, or nil if the vertex is absent.
+func (gv *GraphView) IncidentEdges(vertexID int64) []EdgeRef {
+	v := gv.G.Vertex(vertexID)
+	if v == nil {
+		return nil
+	}
+	var out []EdgeRef
+	seen := make(map[int64]bool)
+	for _, list := range [][]*graph.Edge{v.Out, v.In} {
+		for _, e := range list {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				out = append(out, EdgeRef{EdgeID: e.ID, Tuple: storage.RowID(e.Tuple)})
+			}
+		}
+	}
+	return out
+}
+
+// OnInsert maintains the topology after a tuple is inserted into table.
+func (gv *GraphView) OnInsert(table string, id storage.RowID, row types.Row) error {
+	if gv.IsVertexSource(table) {
+		vid, err := intAttr(row, gv.vIDPos, "vertex ID")
+		if err != nil {
+			return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		}
+		if _, err := gv.G.AddVertex(vid, uint64(id)); err != nil {
+			return err
+		}
+	}
+	if gv.IsEdgeSource(table) {
+		if err := gv.addEdgeFromRow(id, row); err != nil {
+			return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		}
+	}
+	return nil
+}
+
+// OnDelete maintains the topology after a tuple is deleted from table.
+// Vertex deletions expect the engine to have cascaded incident edge tuples
+// first (via IncidentEdges); any edges still present are removed here.
+func (gv *GraphView) OnDelete(table string, row types.Row) error {
+	if gv.IsEdgeSource(table) {
+		eid, err := intAttr(row, gv.eIDPos, "edge ID")
+		if err != nil {
+			return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		}
+		gv.G.RemoveEdge(eid) // absent is fine: may already be cascaded
+	}
+	if gv.IsVertexSource(table) {
+		vid, err := intAttr(row, gv.vIDPos, "vertex ID")
+		if err != nil {
+			return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		}
+		gv.G.RemoveVertex(vid)
+	}
+	return nil
+}
+
+// OnUpdate maintains the topology after a tuple of table changes in place.
+// Identifier updates rename the graph element (§3.3.1); endpoint updates
+// rewire the edge.
+func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow types.Row) error {
+	if gv.IsVertexSource(table) {
+		oldID, err := intAttr(oldRow, gv.vIDPos, "vertex ID")
+		if err != nil {
+			return err
+		}
+		newID, err := intAttr(newRow, gv.vIDPos, "vertex ID")
+		if err != nil {
+			return err
+		}
+		if oldID != newID {
+			if err := gv.G.RenameVertex(oldID, newID); err != nil {
+				return fmt.Errorf("graph view %s: %v", gv.Name, err)
+			}
+		}
+	}
+	if gv.IsEdgeSource(table) {
+		oldID, err := intAttr(oldRow, gv.eIDPos, "edge ID")
+		if err != nil {
+			return err
+		}
+		newID, err := intAttr(newRow, gv.eIDPos, "edge ID")
+		if err != nil {
+			return err
+		}
+		if oldID != newID {
+			if err := gv.G.RenameEdge(oldID, newID); err != nil {
+				return fmt.Errorf("graph view %s: %v", gv.Name, err)
+			}
+		}
+		oldFrom, _ := intAttr(oldRow, gv.eFromPos, "edge FROM")
+		newFrom, err := intAttr(newRow, gv.eFromPos, "edge FROM")
+		if err != nil {
+			return err
+		}
+		oldTo, _ := intAttr(oldRow, gv.eToPos, "edge TO")
+		newTo, err := intAttr(newRow, gv.eToPos, "edge TO")
+		if err != nil {
+			return err
+		}
+		if oldFrom != newFrom || oldTo != newTo {
+			gv.G.RemoveEdge(newID)
+			if _, err := gv.G.AddEdge(newID, newFrom, newTo, uint64(id)); err != nil {
+				return fmt.Errorf("graph view %s: %v", gv.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// VertexIDSourceColumn returns the position of the vertex-ID column within
+// the vertexes relational-source schema.
+func (gv *GraphView) VertexIDSourceColumn() int { return gv.vIDPos }
+
+// EdgeEndpointSourceColumns returns the positions of the FROM and TO
+// columns within the edges relational-source schema, used by the engine to
+// preserve referential integrity when a vertex identifier is updated.
+func (gv *GraphView) EdgeEndpointSourceColumns() (from, to int) { return gv.eFromPos, gv.eToPos }

@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grfusion/internal/expr"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// MatView is a single-table materialized relational view: a projection and
+// selection over one base table, materialized into its own backing table
+// and maintained incrementally under DML on the base.
+//
+// The paper motivates these as graph-view sources: "the vertexes or the
+// edges data can be obtained through a relational materialized view" (§2),
+// and topological updates flow through "relational views selecting from a
+// single table" (§3.3.2). A graph view built over a MatView's table is
+// maintained transitively: base DML maintains the view's rows, which in
+// turn maintain the graph topology, all inside one transaction.
+type MatView struct {
+	Name string
+	// Base is the base table name.
+	Base string
+	// CreateSQL reproduces the defining statement (used by snapshots).
+	CreateSQL string
+
+	table *storage.Table
+	// cols are the base-schema positions projected, in view-column order.
+	cols []int
+	// pred is the WHERE predicate bound to the base schema (nil = all).
+	pred expr.Expr
+	// rowMap maps base RowIDs to view RowIDs.
+	rowMap map[storage.RowID]storage.RowID
+}
+
+// NewMatView builds the view definition and materializes it with one pass
+// over the base table.
+func NewMatView(name string, base *storage.Table, table *storage.Table,
+	cols []int, pred expr.Expr, createSQL string) (*MatView, error) {
+
+	mv := &MatView{
+		Name: name, Base: base.Name(), CreateSQL: createSQL,
+		table: table, cols: append([]int(nil), cols...), pred: pred,
+		rowMap: make(map[storage.RowID]storage.RowID),
+	}
+	var err error
+	base.Scan(func(id storage.RowID, row types.Row) bool {
+		var in bool
+		in, err = mv.Matches(row)
+		if err != nil {
+			return false
+		}
+		if !in {
+			return true
+		}
+		var vid storage.RowID
+		vid, err = table.Insert(mv.Project(row))
+		if err != nil {
+			return false
+		}
+		mv.rowMap[id] = vid
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("materialized view %s: %v", name, err)
+	}
+	return mv, nil
+}
+
+// Table returns the backing table (registered in the catalog under the
+// view's name; read-only for user DML).
+func (mv *MatView) Table() *storage.Table { return mv.table }
+
+// Matches evaluates the view predicate against a base row.
+func (mv *MatView) Matches(row types.Row) (bool, error) {
+	if mv.pred == nil {
+		return true, nil
+	}
+	return expr.EvalBool(mv.pred, &expr.Env{Row: row})
+}
+
+// Project builds the view tuple for a base row.
+func (mv *MatView) Project(row types.Row) types.Row {
+	out := make(types.Row, len(mv.cols))
+	for i, c := range mv.cols {
+		out[i] = row[c]
+	}
+	return out
+}
+
+// Lookup returns the view RowID materialized for a base row, if any.
+func (mv *MatView) Lookup(base storage.RowID) (storage.RowID, bool) {
+	vid, ok := mv.rowMap[base]
+	return vid, ok
+}
+
+// MapSet records the base→view row mapping.
+func (mv *MatView) MapSet(base, view storage.RowID) { mv.rowMap[base] = view }
+
+// MapDelete removes the mapping for a base row.
+func (mv *MatView) MapDelete(base storage.RowID) { delete(mv.rowMap, base) }
+
+// --- Catalog integration ----------------------------------------------------
+
+// RegisterMatView installs a materialized view: its backing table joins
+// the table namespace (so queries and graph views can reference it) and
+// base-table dependency tracking begins.
+func (c *Catalog) RegisterMatView(mv *MatView) error {
+	if err := c.CreateTable(mv.table); err != nil {
+		return err
+	}
+	key := strings.ToLower(mv.Name)
+	c.matviews[key] = mv
+	base := strings.ToLower(mv.Base)
+	c.matDeps[base] = append(c.matDeps[base], mv)
+	return nil
+}
+
+// MatView looks up a materialized view by name.
+func (c *Catalog) MatView(name string) (*MatView, bool) {
+	mv, ok := c.matviews[strings.ToLower(name)]
+	return mv, ok
+}
+
+// MatViews returns all materialized-view names, sorted.
+func (c *Catalog) MatViews() []string {
+	out := make([]string, 0, len(c.matviews))
+	for k := range c.matviews {
+		out = append(out, c.matviews[k].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependentMatViews returns the materialized views defined over the named
+// base table.
+func (c *Catalog) DependentMatViews(base string) []*MatView {
+	return c.matDeps[strings.ToLower(base)]
+}
+
+// IsMatViewTable reports whether name is the backing table of a
+// materialized view (and therefore read-only for direct DML).
+func (c *Catalog) IsMatViewTable(name string) bool {
+	_, ok := c.matviews[strings.ToLower(name)]
+	return ok
+}
+
+// DropMatView removes a materialized view and its backing table. It fails
+// while graph views or other materialized views depend on it.
+func (c *Catalog) DropMatView(name string) error {
+	key := strings.ToLower(name)
+	mv, ok := c.matviews[key]
+	if !ok {
+		return fmt.Errorf("unknown materialized view %s", name)
+	}
+	if vs := c.deps[key]; len(vs) > 0 {
+		return fmt.Errorf("materialized view %s is a relational source of graph view %s", name, vs[0].Name)
+	}
+	if ds := c.matDeps[key]; len(ds) > 0 {
+		return fmt.Errorf("materialized view %s is the base of materialized view %s", name, ds[0].Name)
+	}
+	delete(c.matviews, key)
+	delete(c.tables, key)
+	base := strings.ToLower(mv.Base)
+	kept := c.matDeps[base][:0]
+	for _, d := range c.matDeps[base] {
+		if d != mv {
+			kept = append(kept, d)
+		}
+	}
+	if len(kept) == 0 {
+		delete(c.matDeps, base)
+	} else {
+		c.matDeps[base] = kept
+	}
+	return nil
+}

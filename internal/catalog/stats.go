@@ -1,0 +1,51 @@
+package catalog
+
+import (
+	"time"
+
+	"grfusion/internal/graph"
+)
+
+// GraphStats is the per-graph-view statistics object of §6.3: the paper
+// keeps the average fan-out of each graph view in the system catalog and,
+// when the statistics configuration is enabled, refreshes it with a
+// backend thread walking the compact graph-view structures. The optimizer
+// consults it to choose between the BFS and DFS physical operators.
+type GraphStats struct {
+	// AvgFanOut is the mean traversable degree (the §6.3 F statistic).
+	AvgFanOut float64
+	// MaxFanOut is the largest traversable degree — high skew (Twitter-like
+	// hubs) makes breadth-first frontiers explode faster than AvgFanOut
+	// alone predicts.
+	MaxFanOut int
+	// Vertices and Edges are the topology counts at refresh time.
+	Vertices, Edges int
+	// UpdatedAt stamps the refresh.
+	UpdatedAt time.Time
+}
+
+// ComputeStats walks the topology and builds a fresh statistics object.
+// It is O(V) and intended for the background refresher, not per query.
+func (gv *GraphView) ComputeStats(now time.Time) *GraphStats {
+	st := &GraphStats{
+		AvgFanOut: gv.G.AvgFanOut(),
+		Vertices:  gv.G.NumVertices(),
+		Edges:     gv.G.NumEdges(),
+		UpdatedAt: now,
+	}
+	gv.G.Vertices(func(v *graph.Vertex) bool {
+		if d := gv.G.FanOut(v); d > st.MaxFanOut {
+			st.MaxFanOut = d
+		}
+		return true
+	})
+	return st
+}
+
+// SetStats publishes a statistics object for optimizer use.
+func (gv *GraphView) SetStats(st *GraphStats) { gv.stats.Store(st) }
+
+// Stats returns the last published statistics object, or nil when the
+// statistics configuration is disabled or no refresh has run yet (the
+// optimizer then falls back to the O(1) live average fan-out).
+func (gv *GraphView) Stats() *GraphStats { return gv.stats.Load() }

@@ -1,0 +1,315 @@
+// Package core implements the GRFusion engine: the paper's primary
+// contribution glued over the substrates. It parses and executes
+// statements, manages graph views as first-class database objects (§3),
+// maintains them transactionally under DML (§3.3), and runs cross-model
+// QEPs produced by the planner (§5).
+//
+// Concurrency follows the H-Store/VoltDB model the paper builds on: the
+// engine serializes statement execution (one writer/reader at a time), so
+// transactions are trivially serializable and operators run lock-free.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"grfusion/internal/catalog"
+	"grfusion/internal/exec"
+	"grfusion/internal/plan"
+	"grfusion/internal/sql"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// MemLimit bounds intermediate-result memory per statement (bytes).
+	// Zero means unlimited. (VoltDB's recommended temp-table limit is
+	// 100 MB; the paper's Twitter experiment exceeds 16 GB and aborts.)
+	MemLimit int64
+	// Planner options (pushdown/inference toggles for ablations).
+	Plan plan.Options
+}
+
+// Engine is one in-memory database instance.
+type Engine struct {
+	mu   sync.Mutex
+	cat  *catalog.Catalog
+	opts Options
+
+	// Statistics-thread lifecycle (see stats.go).
+	statsMu   sync.Mutex
+	statsStop chan struct{}
+	statsDone chan struct{}
+}
+
+// New creates an empty engine.
+func New(opts Options) *Engine {
+	return &Engine{cat: catalog.New(), opts: opts}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a query (nil for DDL/DML).
+	Columns []string
+	// Rows holds query output.
+	Rows []types.Row
+	// Affected counts rows touched by DML.
+	Affected int
+}
+
+// Catalog exposes the system catalog (read-mostly; callers must not mutate
+// concurrently with statement execution).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// SetPlanOptions swaps the planner options (used by experiment ablations).
+func (e *Engine) SetPlanOptions(o plan.Options) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.Plan = o
+}
+
+// Execute parses and runs a single statement.
+func (e *Engine) Execute(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt)
+}
+
+// ExecuteScript runs a semicolon-separated script, stopping at the first
+// error. It returns one result per executed statement.
+func (e *Engine) ExecuteScript(script string) ([]*Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, s := range stmts {
+		r, err := e.ExecuteStmt(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecuteStmt runs one parsed statement under the engine's serialization
+// lock.
+func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return e.runSelect(s)
+	case *sql.CreateTable:
+		return e.createTable(s)
+	case *sql.CreateIndex:
+		return e.createIndex(s)
+	case *sql.CreateGraphView:
+		return e.createGraphView(s)
+	case *sql.CreateMatView:
+		return e.createMatView(s)
+	case *sql.DropMatView:
+		if err := e.cat.DropMatView(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropTable:
+		if err := e.cat.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropGraphView:
+		if err := e.cat.DropGraphView(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.TruncateTable:
+		return e.truncateTable(s)
+	case *sql.Insert:
+		return e.runInsert(s)
+	case *sql.Update:
+		return e.runUpdate(s)
+	case *sql.Delete:
+		return e.runDelete(s)
+	case *sql.Explain:
+		return e.runExplain(s)
+	case *sql.Show:
+		return e.runShow(s)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// Explain returns the physical plan of a SELECT as indented text.
+func (e *Engine) Explain(query string) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	s, ok := stmt.(*sql.Select)
+	if !ok {
+		return "", fmt.Errorf("EXPLAIN supports SELECT statements only")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+	op, err := p.PlanSelect(s)
+	if err != nil {
+		return "", err
+	}
+	return exec.Explain(op), nil
+}
+
+// runExplain plans the inner SELECT and renders the QEP, one line per row.
+func (e *Engine) runExplain(s *sql.Explain) (*Result, error) {
+	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+	op, err := p.PlanSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(exec.Explain(op), "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
+	}
+	return res, nil
+}
+
+func (e *Engine) runSelect(s *sql.Select) (*Result, error) {
+	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+	op, err := p.PlanSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext(e.opts.MemLimit)
+	rows, err := exec.Collect(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, op.Schema().Len())
+	for i, c := range op.Schema().Columns {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+func (e *Engine) createTable(s *sql.CreateTable) (*Result, error) {
+	if len(s.Cols) == 0 {
+		return nil, fmt.Errorf("table %s has no columns", s.Name)
+	}
+	cols := make([]types.Column, len(s.Cols))
+	seen := map[string]bool{}
+	for i, c := range s.Cols {
+		key := strings.ToLower(c.Name)
+		if seen[key] {
+			return nil, fmt.Errorf("table %s: duplicate column %q", s.Name, c.Name)
+		}
+		seen[key] = true
+		cols[i] = types.Column{Qualifier: s.Name, Name: c.Name, Type: c.Type}
+	}
+	schema := types.NewSchema(cols...)
+	var pk []int
+	for _, name := range s.PK {
+		idx, err := schema.Resolve("", name)
+		if err != nil {
+			return nil, fmt.Errorf("table %s primary key: %v", s.Name, err)
+		}
+		pk = append(pk, idx)
+	}
+	t, err := storage.NewTable(s.Name, schema, pk)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.CreateTable(t); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) createIndex(s *sql.CreateIndex) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", s.Table)
+	}
+	cols := make([]int, len(s.Cols))
+	for i, name := range s.Cols {
+		idx, err := t.Schema().Resolve("", name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = idx
+	}
+	if _, err := t.CreateIndex(s.Name, cols, s.Ordered); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) createGraphView(s *sql.CreateGraphView) (*Result, error) {
+	vtab, ok := e.cat.Table(s.VertexSource)
+	if !ok {
+		return nil, fmt.Errorf("unknown vertexes relational-source %q", s.VertexSource)
+	}
+	etab, ok := e.cat.Table(s.EdgeSource)
+	if !ok {
+		return nil, fmt.Errorf("unknown edges relational-source %q", s.EdgeSource)
+	}
+	toAttrs := func(ms []sql.NameMap) []catalog.AttrMap {
+		out := make([]catalog.AttrMap, len(ms))
+		for i, m := range ms {
+			out[i] = catalog.AttrMap{Name: m.Name, Source: m.Source}
+		}
+		return out
+	}
+	gv, err := catalog.NewGraphView(s.Name, s.Directed, vtab, etab,
+		toAttrs(s.VertexAttrs), toAttrs(s.EdgeAttrs))
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.RegisterGraphView(gv); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) truncateTable(s *sql.TruncateTable) (*Result, error) {
+	t, ok := e.cat.Table(s.Name)
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", s.Name)
+	}
+	if vs := e.cat.DependentViews(s.Name); len(vs) > 0 {
+		return nil, fmt.Errorf("cannot truncate %s: it is a relational source of graph view %s",
+			s.Name, vs[0].Name)
+	}
+	if e.cat.IsMatViewTable(s.Name) {
+		return nil, fmt.Errorf("materialized view %s is read-only; modify its base table", s.Name)
+	}
+	if ds := e.cat.DependentMatViews(s.Name); len(ds) > 0 {
+		return nil, fmt.Errorf("cannot truncate %s: it is the base of materialized view %s",
+			s.Name, ds[0].Name)
+	}
+	n := t.Len()
+	t.Truncate()
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) runShow(s *sql.Show) (*Result, error) {
+	res := &Result{Columns: []string{"name"}}
+	var names []string
+	switch s.What {
+	case "TABLES":
+		names = e.cat.Tables()
+	case "MATERIALIZED VIEWS":
+		names = e.cat.MatViews()
+	default:
+		names = e.cat.GraphViews()
+	}
+	for _, n := range names {
+		res.Rows = append(res.Rows, types.Row{types.NewString(n)})
+	}
+	return res, nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"grfusion/internal/graph"
+	"grfusion/internal/types"
+)
+
+// randomGraphEngine loads a seeded random directed graph through SQL and
+// returns the engine plus an independently built reference topology.
+func randomGraphEngine(t testing.TB, n, m int, seed int64) (*Engine, *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	e := New(Options{})
+	mustScriptTB(t, e, `
+		CREATE TABLE V (vid BIGINT PRIMARY KEY);
+		CREATE TABLE E (eid BIGINT PRIMARY KEY, a BIGINT, b BIGINT, w BIGINT);
+	`)
+	ref := graph.New("ref", true)
+	var vs, es []string
+	for i := 0; i < n; i++ {
+		vs = append(vs, fmt.Sprintf("(%d)", i))
+		ref.AddVertex(int64(i), uint64(i+1))
+	}
+	for i := 0; i < m; i++ {
+		a, b := rng.Int63n(int64(n)), rng.Int63n(int64(n))
+		w := rng.Int63n(100)
+		es = append(es, fmt.Sprintf("(%d, %d, %d, %d)", i, a, b, w))
+		ref.AddEdge(int64(i), a, b, uint64(i+1))
+	}
+	mustExecTB(t, e, "INSERT INTO V VALUES "+strings.Join(vs, ", "))
+	mustExecTB(t, e, "INSERT INTO E VALUES "+strings.Join(es, ", "))
+	mustExecTB(t, e, `CREATE DIRECTED GRAPH VIEW G VERTEXES(ID=vid) FROM V
+		EDGES(ID=eid, FROM=a, TO=b, w=w) FROM E`)
+	return e, ref
+}
+
+func mustExecTB(t testing.TB, e *Engine, q string) *Result {
+	r, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", q, err)
+	}
+	return r
+}
+
+func mustScriptTB(t testing.TB, e *Engine, script string) {
+	if _, err := e.ExecuteScript(script); err != nil {
+		t.Fatalf("script: %v", err)
+	}
+}
+
+// Property: SQL reachability through the engine agrees with the raw graph
+// kernel on random graphs and random endpoint pairs.
+func TestSQLReachabilityMatchesKernel(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 1000
+		e, ref := randomGraphEngine(t, 18, 30, s)
+		p, err := e.Prepare(`SELECT PS.PathString FROM G.Paths PS
+			WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? LIMIT 1`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(s + 999))
+		for i := 0; i < 12; i++ {
+			src := rng.Int63n(18)
+			dst := rng.Int63n(18)
+			if src == dst {
+				continue
+			}
+			want := graph.Reachable(ref, ref.Vertex(src), ref.Vertex(dst), 0)
+			res, err := p.Query(types.NewInt(src), types.NewInt(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (len(res.Rows) > 0) != want {
+				t.Logf("seed %d: reach(%d,%d) sql=%v kernel=%v", s, src, dst, len(res.Rows) > 0, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SPScan's shortest distance agrees with the kernel Dijkstra.
+func TestSQLShortestPathMatchesKernel(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 1000
+		e, ref := randomGraphEngine(t, 15, 28, s)
+		p, err := e.Prepare(`SELECT TOP 1 SUM(PS.Edges.w) FROM G.Paths PS HINT(SHORTESTPATH(w))
+			WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ?`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := map[int64]float64{}
+		res, _ := e.Execute(`SELECT eid, w FROM E`)
+		for _, r := range res.Rows {
+			w[r[0].I] = float64(r[1].I)
+		}
+		wf := func(pos int, ed *graph.Edge, from, to *graph.Vertex) (float64, bool) { return w[ed.ID], true }
+		rng := rand.New(rand.NewSource(s + 7))
+		for i := 0; i < 8; i++ {
+			src, dst := rng.Int63n(15), rng.Int63n(15)
+			if src == dst {
+				continue
+			}
+			want, err := graph.ShortestPath(ref, ref.Vertex(src), ref.Vertex(dst), wf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Query(types.NewInt(src), types.NewInt(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				if len(got.Rows) != 0 {
+					return false
+				}
+				continue
+			}
+			if len(got.Rows) != 1 {
+				return false
+			}
+			// Zero-weight empty SUM is NULL for the trivial case; paths here
+			// have >= 1 edge.
+			if got.Rows[0][0].AsFloat() != want.Cost {
+				t.Logf("seed %d: sp(%d,%d) sql=%v kernel=%g", s, src, dst, got.Rows[0][0], want.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore preserves every query result and graph-view
+// consistency under random mutations.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 500
+		e, _ := randomGraphEngine(t, 12, 20, s)
+		// Random mutations before the snapshot.
+		rng := rand.New(rand.NewSource(s + 3))
+		for i := 0; i < 6; i++ {
+			eid := rng.Int63n(20)
+			mustExecTB(t, e, fmt.Sprintf("DELETE FROM E WHERE eid = %d", eid))
+		}
+		queries := []string{
+			`SELECT COUNT(*) FROM E`,
+			`SELECT COUNT(*) FROM G.Edges E2`,
+			`SELECT COUNT(P) FROM G.Paths P WHERE P.Length = 2`,
+		}
+		var before []string
+		for _, q := range queries {
+			before = append(before, render(mustExecTB(t, e, q))[0][0])
+		}
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		e2 := New(Options{})
+		if err := e2.Restore(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			got := render(mustExecTB(t, e2, q))[0][0]
+			if got != before[i] {
+				t.Logf("seed %d: %q: %s != %s", s, q, got, before[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the count of simple paths of length L is identical across
+// DFS+ALLPATHS and BFS+ALLPATHS physical operators.
+func TestAllPathsCountPhysicalEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 500
+		e, _ := randomGraphEngine(t, 12, 24, s)
+		counts := map[string]int64{}
+		for _, hint := range []string{"DFS, ALLPATHS", "BFS, ALLPATHS"} {
+			q := fmt.Sprintf(`SELECT COUNT(P) FROM G.Paths P HINT(%s)
+				WHERE P.StartVertex.Id = 0 AND P.Length = 3`, hint)
+			counts[hint] = mustExecTB(t, e, q).Rows[0][0].I
+		}
+		return counts["DFS, ALLPATHS"] == counts["BFS, ALLPATHS"]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any random mix of DML on the base table, a materialized
+// view's contents equal a fresh recomputation of its definition.
+func TestMatViewConsistencyUnderRandomDML(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 500
+		rng := rand.New(rand.NewSource(s))
+		e := New(Options{})
+		mustScriptTB(t, e, `
+			CREATE TABLE T (id BIGINT PRIMARY KEY, grp BIGINT, val BIGINT);
+			CREATE MATERIALIZED VIEW Evens AS SELECT id, val FROM T WHERE grp = 0;
+		`)
+		live := map[int64]bool{}
+		next := int64(0)
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				next++
+				mustExecTB(t, e, fmt.Sprintf("INSERT INTO T VALUES (%d, %d, %d)",
+					next, rng.Int63n(2), rng.Int63n(100)))
+				live[next] = true
+			case 1: // update (possibly flipping group membership)
+				if len(live) == 0 {
+					continue
+				}
+				for id := range live {
+					mustExecTB(t, e, fmt.Sprintf("UPDATE T SET grp = %d, val = %d WHERE id = %d",
+						rng.Int63n(2), rng.Int63n(100), id))
+					break
+				}
+			default: // delete
+				if len(live) == 0 {
+					continue
+				}
+				for id := range live {
+					mustExecTB(t, e, fmt.Sprintf("DELETE FROM T WHERE id = %d", id))
+					delete(live, id)
+					break
+				}
+			}
+		}
+		// The view must equal the recomputed definition.
+		viewRows := render(mustExecTB(t, e, `SELECT id, val FROM Evens ORDER BY id`))
+		baseRows := render(mustExecTB(t, e, `SELECT id, val FROM T WHERE grp = 0 ORDER BY id`))
+		if len(viewRows) != len(baseRows) {
+			t.Logf("seed %d: view %d rows, recompute %d rows", s, len(viewRows), len(baseRows))
+			return false
+		}
+		for i := range viewRows {
+			if viewRows[i][0] != baseRows[i][0] || viewRows[i][1] != baseRows[i][1] {
+				t.Logf("seed %d: row %d: %v vs %v", s, i, viewRows[i], baseRows[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

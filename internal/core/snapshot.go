@@ -1,0 +1,199 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"grfusion/internal/catalog"
+	"grfusion/internal/sql"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// Snapshots serialize a whole database (schema, data, indexes, graph-view
+// definitions) with encoding/gob, giving GRFusion the same
+// snapshot-and-rebuild durability story as an in-memory store like VoltDB.
+// Graph-view topologies are not serialized: they are derived state and are
+// rebuilt from the relational sources on restore (§3.2).
+
+type snapCol struct {
+	Name string
+	Type uint8
+}
+
+type snapValue struct {
+	Kind uint8
+	B    bool
+	I    int64
+	F    float64
+	S    string
+}
+
+type snapTable struct {
+	Name    string
+	Cols    []snapCol
+	PK      []int
+	Rows    [][]snapValue
+	Indexes []storage.IndexInfo
+}
+
+type snapAttr struct {
+	Name   string
+	Source string
+}
+
+type snapView struct {
+	Name         string
+	Directed     bool
+	VertexSource string
+	EdgeSource   string
+	VertexAttrs  []snapAttr
+	EdgeAttrs    []snapAttr
+}
+
+type snapDB struct {
+	Version int
+	Tables  []snapTable
+	// MatViews holds the defining statements of materialized views; they
+	// are re-executed on restore (after tables, before graph views) and
+	// rebuild their contents from the restored bases.
+	MatViews []string
+	Views    []snapView
+}
+
+const snapshotVersion = 1
+
+// Snapshot writes a consistent image of the database to w.
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db := snapDB{Version: snapshotVersion}
+	for _, name := range e.cat.Tables() {
+		if e.cat.IsMatViewTable(name) {
+			continue // derived state: rebuilt by re-running the definition
+		}
+		t, _ := e.cat.Table(name)
+		st := snapTable{Name: t.Name(), PK: t.PrimaryKeyColumns(), Indexes: t.Indexes()}
+		for _, c := range t.Schema().Columns {
+			st.Cols = append(st.Cols, snapCol{Name: c.Name, Type: uint8(c.Type)})
+		}
+		t.Scan(func(id storage.RowID, row types.Row) bool {
+			sr := make([]snapValue, len(row))
+			for i, v := range row {
+				sr[i] = snapValue{Kind: uint8(v.Kind), B: v.B, I: v.I, F: v.F, S: v.S}
+			}
+			st.Rows = append(st.Rows, sr)
+			return true
+		})
+		db.Tables = append(db.Tables, st)
+	}
+	for _, name := range e.cat.MatViews() {
+		mv, _ := e.cat.MatView(name)
+		db.MatViews = append(db.MatViews, mv.CreateSQL)
+	}
+	for _, name := range e.cat.GraphViews() {
+		gv, _ := e.cat.GraphView(name)
+		sv := snapView{Name: gv.Name, Directed: gv.Directed,
+			VertexSource: gv.VertexSource, EdgeSource: gv.EdgeSource}
+		for _, a := range gv.VertexAttrs {
+			sv.VertexAttrs = append(sv.VertexAttrs, snapAttr{Name: a.Name, Source: a.Source})
+		}
+		for _, a := range gv.EdgeAttrs {
+			sv.EdgeAttrs = append(sv.EdgeAttrs, snapAttr{Name: a.Name, Source: a.Source})
+		}
+		db.Views = append(db.Views, sv)
+	}
+	return gob.NewEncoder(w).Encode(&db)
+}
+
+// Restore loads a snapshot into an empty engine, rebuilding indexes and
+// graph-view topologies.
+func (e *Engine) Restore(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.cat.Tables()) > 0 || len(e.cat.GraphViews()) > 0 {
+		return fmt.Errorf("restore requires an empty engine")
+	}
+	var db snapDB
+	if err := gob.NewDecoder(r).Decode(&db); err != nil {
+		return fmt.Errorf("decode snapshot: %v", err)
+	}
+	if db.Version != snapshotVersion {
+		return fmt.Errorf("unsupported snapshot version %d", db.Version)
+	}
+	for _, st := range db.Tables {
+		cols := make([]types.Column, len(st.Cols))
+		for i, c := range st.Cols {
+			cols[i] = types.Column{Qualifier: st.Name, Name: c.Name, Type: types.Kind(c.Type)}
+		}
+		t, err := storage.NewTable(st.Name, types.NewSchema(cols...), st.PK)
+		if err != nil {
+			return err
+		}
+		for _, sr := range st.Rows {
+			row := make(types.Row, len(sr))
+			for i, v := range sr {
+				row[i] = types.Value{Kind: types.Kind(v.Kind), B: v.B, I: v.I, F: v.F, S: v.S}
+			}
+			if _, err := t.Insert(row); err != nil {
+				return fmt.Errorf("restore table %s: %v", st.Name, err)
+			}
+		}
+		for _, ix := range st.Indexes {
+			if _, err := t.CreateIndex(ix.Name, ix.Cols, ix.Ordered); err != nil {
+				return fmt.Errorf("restore index %s: %v", ix.Name, err)
+			}
+		}
+		if err := e.cat.CreateTable(t); err != nil {
+			return err
+		}
+	}
+	// Materialized views may depend on each other; retry until a full pass
+	// makes no progress (then the snapshot is inconsistent).
+	pending := append([]string(nil), db.MatViews...)
+	for len(pending) > 0 {
+		var next []string
+		for _, def := range pending {
+			stmt, err := sql.Parse(def)
+			if err != nil {
+				return fmt.Errorf("restore materialized view: %v", err)
+			}
+			if _, err := e.createMatView(stmt.(*sql.CreateMatView)); err != nil {
+				next = append(next, def)
+			}
+		}
+		if len(next) == len(pending) {
+			stmt, _ := sql.Parse(next[0])
+			_, err := e.createMatView(stmt.(*sql.CreateMatView))
+			return fmt.Errorf("restore materialized view: %v", err)
+		}
+		pending = next
+	}
+	for _, sv := range db.Views {
+		vtab, ok := e.cat.Table(sv.VertexSource)
+		if !ok {
+			return fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.VertexSource)
+		}
+		etab, ok := e.cat.Table(sv.EdgeSource)
+		if !ok {
+			return fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.EdgeSource)
+		}
+		toAttrs := func(as []snapAttr) []catalog.AttrMap {
+			out := make([]catalog.AttrMap, len(as))
+			for i, a := range as {
+				out[i] = catalog.AttrMap{Name: a.Name, Source: a.Source}
+			}
+			return out
+		}
+		gv, err := catalog.NewGraphView(sv.Name, sv.Directed, vtab, etab,
+			toAttrs(sv.VertexAttrs), toAttrs(sv.EdgeAttrs))
+		if err != nil {
+			return fmt.Errorf("restore view %s: %v", sv.Name, err)
+		}
+		if err := e.cat.RegisterGraphView(gv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

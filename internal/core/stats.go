@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+)
+
+// Statistics maintenance (§6.3): "GRFusion has a configuration to store
+// the average fan-out of graph views as a statistics object. If this
+// configuration is enabled, GRFusion runs a thread in the backend to
+// compute the average fan-out using the compact graph-view structures."
+//
+// StartStatistics launches that backend refresher; the optimizer picks up
+// each view's published GraphStats when choosing physical traversal
+// operators. Refreshes run under the engine's serialization lock, like
+// any other catalog reader.
+
+// RefreshStatistics recomputes and publishes the statistics object of
+// every graph view once, synchronously.
+func (e *Engine) RefreshStatistics() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshStatsLocked()
+}
+
+func (e *Engine) refreshStatsLocked() {
+	now := time.Now()
+	for _, name := range e.cat.GraphViews() {
+		gv, ok := e.cat.GraphView(name)
+		if !ok {
+			continue
+		}
+		gv.SetStats(gv.ComputeStats(now))
+	}
+}
+
+// StartStatistics enables the backend statistics thread with the given
+// refresh interval. It refreshes once immediately. Calling it again
+// restarts the thread with the new interval. Stop with Close.
+func (e *Engine) StartStatistics(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	e.RefreshStatistics()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.stopStatsLocked()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.statsStop = stop
+	e.statsDone = done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				e.RefreshStatistics()
+			}
+		}
+	}()
+}
+
+// Close stops background work (the statistics thread). The engine remains
+// usable for statements afterwards.
+func (e *Engine) Close() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.stopStatsLocked()
+}
+
+func (e *Engine) stopStatsLocked() {
+	if e.statsStop != nil {
+		close(e.statsStop)
+		<-e.statsDone
+		e.statsStop = nil
+		e.statsDone = nil
+	}
+}

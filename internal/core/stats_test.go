@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRefreshStatistics(t *testing.T) {
+	e := socialEngine(t)
+	gv, _ := e.Catalog().GraphView("SocialNetwork")
+	if gv.Stats() != nil {
+		t.Fatal("stats published before any refresh")
+	}
+	e.RefreshStatistics()
+	st := gv.Stats()
+	if st == nil {
+		t.Fatal("stats not published")
+	}
+	if st.Vertices != 5 || st.Edges != 5 {
+		t.Errorf("counts: %+v", st)
+	}
+	// Undirected: avg fan-out is 2|E|/|V| = 2.
+	if st.AvgFanOut != 2 {
+		t.Errorf("avg fan-out: %g", st.AvgFanOut)
+	}
+	// Vertex 3 touches edges 11, 12, 14 -> max degree 3.
+	if st.MaxFanOut != 3 {
+		t.Errorf("max fan-out: %d", st.MaxFanOut)
+	}
+	if st.UpdatedAt.IsZero() {
+		t.Error("missing timestamp")
+	}
+}
+
+func TestStatisticsThreadRefreshes(t *testing.T) {
+	e := socialEngine(t)
+	e.StartStatistics(2 * time.Millisecond)
+	defer e.Close()
+	gv, _ := e.Catalog().GraphView("SocialNetwork")
+	if gv.Stats() == nil {
+		t.Fatal("StartStatistics did not refresh immediately")
+	}
+	// Mutate the topology and wait for the backend thread to notice.
+	mustExec(t, e, `DELETE FROM Relationships WHERE relid = 14`)
+	deadline := time.After(2 * time.Second)
+	for {
+		if st := gv.Stats(); st != nil && st.Edges == 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("backend thread never refreshed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// Close stops the thread; further mutations are no longer picked up.
+	e.Close()
+	mustExec(t, e, `DELETE FROM Relationships WHERE relid = 13`)
+	time.Sleep(10 * time.Millisecond)
+	if st := gv.Stats(); st.Edges != 4 {
+		t.Errorf("refresher still running after Close: %+v", st)
+	}
+	// Close is idempotent.
+	e.Close()
+}
+
+func TestStartStatisticsRestart(t *testing.T) {
+	e := socialEngine(t)
+	e.StartStatistics(time.Hour)
+	e.StartStatistics(time.Hour) // restart must not leak or deadlock
+	e.Close()
+	// Zero interval is a no-op.
+	e.StartStatistics(0)
+	e.Close()
+}

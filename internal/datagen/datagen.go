@@ -1,0 +1,239 @@
+// Package datagen generates the four synthetic datasets standing in for
+// the paper's evaluation graphs (§7.1, Table 2) plus the query workloads
+// driven over them. All generators are deterministic given a seed.
+//
+// The paper evaluates on Tiger (US road network), String (protein
+// interactions), DBLP (coauthorship), and Twitter (follower graph). Those
+// corpora are proprietary-pipeline downloads and far beyond CI scale, so
+// each generator reproduces its domain's structural signature instead —
+// the properties the experiments actually exercise: diameter, degree
+// distribution, directedness, and skew.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grfusion/internal/graph"
+)
+
+// Vertex is one generated vertex.
+type Vertex struct {
+	ID   int64
+	Name string
+}
+
+// Edge is one generated edge. Every edge carries the three attributes the
+// experiments filter on: a non-negative Weight (shortest paths), a Sel
+// value uniform in [0,100) (predicate selectivity sweeps: `sel < s`
+// selects s% of edges), and a Label from a small alphabet
+// (pattern-matching queries).
+type Edge struct {
+	ID       int64
+	Src, Dst int64
+	Weight   float64
+	Sel      int64
+	Label    string
+}
+
+// Dataset is one generated graph with its domain metadata.
+type Dataset struct {
+	Name     string
+	Directed bool
+	Vertices []Vertex
+	Edges    []Edge
+}
+
+// Labels is the edge-label alphabet.
+var Labels = []string{"A", "B", "C", "D"}
+
+// AvgDegree returns edges per vertex (counting both directions for
+// undirected graphs), the Table 2 statistic.
+func (d *Dataset) AvgDegree() float64 {
+	if len(d.Vertices) == 0 {
+		return 0
+	}
+	m := float64(len(d.Edges))
+	if !d.Directed {
+		m *= 2
+	}
+	return m / float64(len(d.Vertices))
+}
+
+// Build materializes the dataset as a native topology (tuple pointers are
+// synthetic), used by workload generation and the specialized-store
+// baselines.
+func (d *Dataset) Build() *graph.Graph {
+	g := graph.New(d.Name, d.Directed)
+	for _, v := range d.Vertices {
+		if _, err := g.AddVertex(v.ID, uint64(v.ID)+1); err != nil {
+			panic(fmt.Sprintf("datagen: %v", err))
+		}
+	}
+	for _, e := range d.Edges {
+		if _, err := g.AddEdge(e.ID, e.Src, e.Dst, uint64(e.ID)+1); err != nil {
+			panic(fmt.Sprintf("datagen: %v", err))
+		}
+	}
+	return g
+}
+
+func (d *Dataset) decorate(rng *rand.Rand) {
+	for i := range d.Edges {
+		e := &d.Edges[i]
+		e.Sel = rng.Int63n(100)
+		e.Label = Labels[rng.Intn(len(Labels))]
+		if e.Weight == 0 {
+			e.Weight = 1 + rng.Float64()*9
+		}
+	}
+}
+
+// Road generates a Tiger-like road network: a w×h grid of intersections
+// with ~8% of segments removed and Euclidean-ish weights. Road networks
+// are near-planar with degree ≈ 2–4 and a large diameter, the regime where
+// deep traversals stay cheap for native graphs but cost one join per hop
+// relationally.
+func Road(w, h int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "road", Directed: false}
+	id := func(r, c int) int64 { return int64(r*w + c) }
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			d.Vertices = append(d.Vertices, Vertex{ID: id(r, c), Name: fmt.Sprintf("x%d_%d", r, c)})
+		}
+	}
+	eid := int64(0)
+	addEdge := func(a, b int64) {
+		if rng.Float64() < 0.08 {
+			return // removed segment
+		}
+		d.Edges = append(d.Edges, Edge{
+			ID: eid, Src: a, Dst: b,
+			Weight: 0.5 + rng.Float64(), // segment length
+		})
+		eid++
+	}
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if c+1 < w {
+				addEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < h {
+				addEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	d.decorate(rng)
+	return d
+}
+
+// Protein generates a String-like protein-interaction network: an
+// undirected scale-free graph by preferential attachment with m links per
+// protein — dense, small-world, heavy-tailed degrees.
+func Protein(n, m int, seed int64) *Dataset {
+	d := preferential(n, m, false, seed)
+	d.Name = "protein"
+	for i := range d.Vertices {
+		d.Vertices[i].Name = fmt.Sprintf("P%05d", i)
+	}
+	return d
+}
+
+// DBLP generates a coauthorship-like network: dense author communities
+// (papers become near-cliques) sparsely bridged by cross-community
+// collaborations.
+func DBLP(communities, size int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "dblp", Directed: false}
+	n := communities * size
+	for i := 0; i < n; i++ {
+		d.Vertices = append(d.Vertices, Vertex{ID: int64(i), Name: fmt.Sprintf("author%d", i)})
+	}
+	eid := int64(0)
+	add := func(a, b int64) {
+		d.Edges = append(d.Edges, Edge{ID: eid, Src: a, Dst: b})
+		eid++
+	}
+	for c := 0; c < communities; c++ {
+		base := c * size
+		// Near-clique: each member links to ~60% of later members.
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.6 {
+					add(int64(base+i), int64(base+j))
+				}
+			}
+		}
+		// Bridges to two random other communities.
+		for b := 0; b < 2 && communities > 1; b++ {
+			oc := rng.Intn(communities)
+			if oc == c {
+				continue
+			}
+			add(int64(base+rng.Intn(size)), int64(oc*size+rng.Intn(size)))
+		}
+	}
+	d.decorate(rng)
+	return d
+}
+
+// Twitter generates a follower-like directed graph: preferential
+// attachment by in-degree, yielding the skewed hubs whose fan-out blows up
+// join-based traversal (§7.2's Twitter experiment).
+func Twitter(n, m int, seed int64) *Dataset {
+	d := preferential(n, m, true, seed)
+	d.Name = "twitter"
+	for i := range d.Vertices {
+		d.Vertices[i].Name = fmt.Sprintf("user%d", i)
+	}
+	return d
+}
+
+// preferential builds a Barabási–Albert style graph. Each new vertex
+// attaches m edges to targets sampled proportionally to degree.
+func preferential(n, m int, directed bool, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Directed: directed}
+	if m < 1 {
+		m = 1
+	}
+	for i := 0; i < n; i++ {
+		d.Vertices = append(d.Vertices, Vertex{ID: int64(i)})
+	}
+	// targets repeats vertex ids by degree for O(1) preferential sampling.
+	var targets []int64
+	eid := int64(0)
+	for i := 0; i < n; i++ {
+		src := int64(i)
+		k := m
+		if i < m+1 {
+			k = i // early vertices connect to all predecessors
+		}
+		seen := map[int64]bool{}
+		for j := 0; j < k; j++ {
+			var dst int64
+			for tries := 0; tries < 8; tries++ {
+				if len(targets) == 0 {
+					dst = int64(rng.Intn(i + 1))
+				} else if rng.Float64() < 0.85 {
+					dst = targets[rng.Intn(len(targets))]
+				} else {
+					dst = int64(rng.Intn(i + 1))
+				}
+				if dst != src && !seen[dst] {
+					break
+				}
+			}
+			if dst == src || seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			d.Edges = append(d.Edges, Edge{ID: eid, Src: src, Dst: dst})
+			eid++
+			targets = append(targets, src, dst)
+		}
+	}
+	d.decorate(rng)
+	return d
+}

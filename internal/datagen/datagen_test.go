@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"testing"
+
+	"grfusion/internal/graph"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Twitter(500, 3, 42)
+	b := Twitter(500, 3, 42)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("nondeterministic edge count: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := Twitter(500, 3, 43)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		diff := false
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestDomainSignatures(t *testing.T) {
+	road := Road(30, 30, 1)
+	if road.Directed {
+		t.Error("road must be undirected")
+	}
+	if d := road.AvgDegree(); d < 2 || d > 4.2 {
+		t.Errorf("road avg degree %g outside [2,4.2]", d)
+	}
+	protein := Protein(800, 8, 1)
+	if protein.Directed {
+		t.Error("protein must be undirected")
+	}
+	if d := protein.AvgDegree(); d < 8 {
+		t.Errorf("protein avg degree %g too sparse", d)
+	}
+	tw := Twitter(1500, 4, 1)
+	if !tw.Directed {
+		t.Error("twitter must be directed")
+	}
+	// Twitter must be skewed: max in-degree far above the average.
+	g := tw.Build()
+	maxIn := 0
+	g.Vertices(func(v *graph.Vertex) bool {
+		if len(v.In) > maxIn {
+			maxIn = len(v.In)
+		}
+		return true
+	})
+	if float64(maxIn) < 6*tw.AvgDegree() {
+		t.Errorf("twitter max in-degree %d not skewed (avg %g)", maxIn, tw.AvgDegree())
+	}
+	dblp := DBLP(40, 8, 1)
+	if dblp.AvgDegree() < 3 {
+		t.Errorf("dblp too sparse: %g", dblp.AvgDegree())
+	}
+}
+
+func TestEdgeAttributes(t *testing.T) {
+	d := Protein(300, 5, 7)
+	labels := map[string]bool{}
+	for _, e := range d.Edges {
+		if e.Sel < 0 || e.Sel >= 100 {
+			t.Fatalf("sel out of range: %d", e.Sel)
+		}
+		if e.Weight <= 0 {
+			t.Fatalf("non-positive weight: %g", e.Weight)
+		}
+		labels[e.Label] = true
+	}
+	if len(labels) < 2 {
+		t.Errorf("labels not diverse: %v", labels)
+	}
+	// Selectivity control: sel < 50 must select roughly half the edges.
+	n := 0
+	for _, e := range d.Edges {
+		if e.Sel < 50 {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(d.Edges))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("sel<50 selects %.2f of edges", frac)
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	d := Road(10, 10, 3)
+	g := d.Build()
+	if g.NumVertices() != len(d.Vertices) || g.NumEdges() != len(d.Edges) {
+		t.Fatalf("build: %d/%d vertices, %d/%d edges",
+			g.NumVertices(), len(d.Vertices), g.NumEdges(), len(d.Edges))
+	}
+	if g.Directed() != d.Directed {
+		t.Error("directedness lost")
+	}
+}
+
+func TestPairsAtDistance(t *testing.T) {
+	d := Road(20, 20, 5)
+	g := d.Build()
+	for _, dist := range []int{2, 5, 10} {
+		pairs := PairsAtDistance(g, dist, 10, 99)
+		if len(pairs) == 0 {
+			t.Fatalf("no pairs at distance %d", dist)
+		}
+		for _, p := range pairs {
+			// Verify the BFS distance is exactly dist.
+			src, dstV := g.Vertex(p.Src), g.Vertex(p.Dst)
+			it := graph.NewBFS(g, graph.Spec{Start: src, Target: dstV, MinLen: 1})
+			sp := it.Next()
+			if sp == nil || sp.Len() != dist {
+				got := -1
+				if sp != nil {
+					got = sp.Len()
+				}
+				t.Fatalf("pair %v: distance %d, want %d", p, got, dist)
+			}
+		}
+	}
+}
+
+func TestConnectedPairs(t *testing.T) {
+	d := Protein(300, 4, 11)
+	g := d.Build()
+	pairs := ConnectedPairs(g, 20, 7)
+	if len(pairs) == 0 {
+		t.Fatal("no connected pairs")
+	}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatal("degenerate pair")
+		}
+		if !graph.Reachable(g, g.Vertex(p.Src), g.Vertex(p.Dst), 0) {
+			t.Fatalf("pair %v not connected", p)
+		}
+	}
+}

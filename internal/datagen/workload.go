@@ -1,0 +1,85 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"grfusion/internal/graph"
+)
+
+// Pair is one (source, destination) query endpoint pair.
+type Pair struct {
+	Src, Dst int64
+}
+
+// PairsAtDistance samples up to count endpoint pairs whose BFS hop
+// distance is exactly dist, the workload of the paper's reachability
+// experiments (random queries "with different path lengths that make the
+// query endpoints connected", §7.2). It returns fewer pairs when the graph
+// has too few vertices at that distance.
+func PairsAtDistance(g *graph.Graph, dist, count int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	var ids []int64
+	g.Vertices(func(v *graph.Vertex) bool { ids = append(ids, v.ID); return true })
+	if len(ids) == 0 || dist < 1 {
+		return nil
+	}
+	var out []Pair
+	seen := map[Pair]bool{}
+	for attempts := 0; attempts < count*20 && len(out) < count; attempts++ {
+		src := g.Vertex(ids[rng.Int63n(int64(len(ids)))])
+		// A global-visit BFS emits tree paths in nondecreasing length; tree
+		// depth equals true hop distance.
+		it := graph.NewBFS(g, graph.Spec{Start: src, MinLen: dist, MaxLen: dist})
+		var candidates []int64
+		for p := it.Next(); p != nil; p = it.Next() {
+			candidates = append(candidates, p.End().ID)
+			if len(candidates) >= 64 {
+				break
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		pair := Pair{Src: src.ID, Dst: candidates[rng.Intn(len(candidates))]}
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		out = append(out, pair)
+	}
+	return out
+}
+
+// ConnectedPairs samples up to count pairs with a path between them (any
+// distance), for shortest-path workloads.
+func ConnectedPairs(g *graph.Graph, count int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	var ids []int64
+	g.Vertices(func(v *graph.Vertex) bool { ids = append(ids, v.ID); return true })
+	if len(ids) < 2 {
+		return nil
+	}
+	var out []Pair
+	seen := map[Pair]bool{}
+	for attempts := 0; attempts < count*20 && len(out) < count; attempts++ {
+		src := g.Vertex(ids[rng.Int63n(int64(len(ids)))])
+		it := graph.NewBFS(g, graph.Spec{Start: src, MinLen: 1})
+		var reach []int64
+		for p := it.Next(); p != nil; p = it.Next() {
+			reach = append(reach, p.End().ID)
+			if len(reach) >= 256 {
+				break
+			}
+		}
+		if len(reach) < 2 {
+			continue
+		}
+		pair := Pair{Src: src.ID, Dst: reach[rng.Intn(len(reach))]}
+		if pair.Src == pair.Dst || seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		out = append(out, pair)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"strings"
+
+	"grfusion/internal/expr"
+	"grfusion/internal/types"
+)
+
+// AggSpec describes one aggregate computed by HashAggregate.
+type AggSpec struct {
+	// Name is the aggregate function (COUNT/SUM/AVG/MIN/MAX, upper-cased).
+	Name string
+	// Arg is the input expression bound to the child schema; nil means
+	// COUNT(*) semantics (count rows).
+	Arg expr.Expr
+	// Distinct folds each distinct value once.
+	Distinct bool
+}
+
+// HashAggregate groups its input by the GroupBy expressions and computes
+// the aggregates per group. Output rows are the group values followed by
+// the aggregate results, in first-seen group order. With no GroupBy
+// expressions a single global group is produced even for empty input.
+type HashAggregate struct {
+	Child   Operator
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	Out     *types.Schema
+}
+
+// NewHashAggregate creates a grouping operator with the given output schema
+// (len(GroupBy)+len(Aggs) columns).
+func NewHashAggregate(child Operator, groupBy []expr.Expr, aggs []AggSpec, out *types.Schema) *HashAggregate {
+	return &HashAggregate{Child: child, GroupBy: groupBy, Aggs: aggs, Out: out}
+}
+
+// Schema implements Operator.
+func (a *HashAggregate) Schema() *types.Schema { return a.Out }
+
+// Explain implements Operator.
+func (a *HashAggregate) Explain() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, s := range a.Aggs {
+		if s.Arg == nil {
+			parts = append(parts, s.Name+"(*)")
+		} else {
+			parts = append(parts, s.Name+"("+s.Arg.String()+")")
+		}
+	}
+	return "HashAggregate " + strings.Join(parts, ", ")
+}
+
+// Children implements Operator.
+func (a *HashAggregate) Children() []Operator { return []Operator{a.Child} }
+
+type aggGroup struct {
+	groupVals types.Row
+	states    []*expr.AggState
+}
+
+// Open implements Operator.
+func (a *HashAggregate) Open(ctx *Context) (Iterator, error) {
+	child, err := a.Child.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer child.Close()
+
+	groups := make(map[string]*aggGroup)
+	var order []string
+	var charged int64
+	fail := func(err error) (Iterator, error) {
+		ctx.Release(charged)
+		return nil, err
+	}
+	newGroup := func(vals types.Row) *aggGroup {
+		g := &aggGroup{groupVals: vals, states: make([]*expr.AggState, len(a.Aggs))}
+		for i, s := range a.Aggs {
+			if s.Distinct {
+				g.states[i] = expr.NewDistinctAggState(s.Name)
+			} else {
+				g.states[i] = expr.NewAggState(s.Name)
+			}
+		}
+		return g
+	}
+	for {
+		row, err := child.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if row == nil {
+			break
+		}
+		env := &expr.Env{Row: row, Params: ctx.Params}
+		vals := make(types.Row, len(a.GroupBy))
+		var sb strings.Builder
+		for i, ge := range a.GroupBy {
+			v, err := expr.Eval(ge, env)
+			if err != nil {
+				return fail(err)
+			}
+			vals[i] = v
+			v.AppendKey(&sb)
+			sb.WriteByte(0x1f)
+		}
+		key := sb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = newGroup(vals)
+			groups[key] = g
+			order = append(order, key)
+			b := rowBytes(vals) + int64(len(key)) + 64
+			if err := ctx.Grow(b); err != nil {
+				return fail(err)
+			}
+			charged += b
+		}
+		for i, s := range a.Aggs {
+			var v types.Value
+			if s.Arg == nil {
+				v = types.NewInt(1) // COUNT(*): any non-null marker
+			} else {
+				v, err = expr.Eval(s.Arg, env)
+				if err != nil {
+					return fail(err)
+				}
+			}
+			if err := g.states[i].Add(v); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if len(a.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = newGroup(types.Row{})
+		order = append(order, "")
+	}
+	out := make([]types.Row, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		row := make(types.Row, 0, len(g.groupVals)+len(g.states))
+		row = append(row, g.groupVals...)
+		for _, st := range g.states {
+			row = append(row, st.Result())
+		}
+		out = append(out, row)
+	}
+	return &sliceIter{ctx: ctx, rows: out, charged: charged}, nil
+}

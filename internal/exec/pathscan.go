@@ -1,0 +1,598 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"grfusion/internal/catalog"
+	"grfusion/internal/expr"
+	"grfusion/internal/graph"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// Phys selects the physical traversal operator a logical PathScan maps to
+// (§5.1.2, §6.3).
+type Phys uint8
+
+// Physical path operators.
+const (
+	PhysDFS Phys = iota // DFScan
+	PhysBFS             // BFScan
+	PhysSP              // SPScan (Dijkstra / k-shortest simple paths)
+)
+
+func (p Phys) String() string {
+	switch p {
+	case PhysDFS:
+		return "DFScan"
+	case PhysBFS:
+		return "BFScan"
+	default:
+		return "SPScan"
+	}
+}
+
+// ElemFilter is one pushed-down per-position predicate over the path's
+// edges or vertexes (§6.2), e.g. PS.Edges[0..*].StartDate > '2000-01-01'.
+// The non-path side (Other / List) is bound to the OUTER schema and
+// evaluated once per probe.
+type ElemFilter struct {
+	Elem expr.ElemKind
+	Rng  expr.Rng
+	Attr string
+
+	// Comparison form: elem Op Other (or Other Op elem when Flipped).
+	Op      expr.BinOp
+	Flipped bool
+	Other   expr.Expr
+
+	// IN form: elem [NOT] IN List. Used when IsIn is set.
+	IsIn  bool
+	InNeg bool
+	List  []expr.Expr
+}
+
+func (f *ElemFilter) contains(pos int) bool {
+	switch {
+	case f.Rng.All:
+		return true
+	case f.Rng.Wildcard:
+		return pos >= f.Rng.Start
+	default:
+		return pos >= f.Rng.Start && pos <= f.Rng.End
+	}
+}
+
+func (f *ElemFilter) String() string {
+	elem := "Edges"
+	if f.Elem == expr.ElemVertexes {
+		elem = "Vertexes"
+	}
+	if f.IsIn {
+		return fmt.Sprintf("%s[%d..].%s IN (...)", elem, f.Rng.Start, f.Attr)
+	}
+	return fmt.Sprintf("%s[%d..].%s %s %s", elem, f.Rng.Start, f.Attr, f.Op, f.Other)
+}
+
+// AggBound is a pushed-down monotone aggregate bound (§6.2), e.g.
+// SUM(PS.Edges.Cost) < 10: traversal prunes any partial path whose
+// accumulated value already violates the bound, provided every contribution
+// seen so far is non-negative (otherwise pruning would be unsound and the
+// bound is left to the residual filter above the scan).
+type AggBound struct {
+	Agg  string // SUM or COUNT
+	Elem expr.ElemKind
+	Attr string // empty for COUNT(PS.Edges)
+	Op   expr.BinOp
+	// Bound is evaluated against the outer row once per probe.
+	Bound expr.Expr
+}
+
+// PathScanSpec is the optimizer's full description of one PathScan.
+type PathScanSpec struct {
+	GV    *catalog.GraphView
+	Alias string
+
+	Phys   Phys
+	Policy graph.VisitPolicy
+	// CycleClose allows the path to close back onto its start vertex and
+	// binds the traversal target to the start (triangle-style patterns).
+	CycleClose bool
+
+	MinLen, MaxLen int
+
+	// StartExpr yields the start vertex id; nil starts from every vertex
+	// (§5.1.2). EndExpr, when set, binds the traversal target. Both are
+	// bound to the OUTER schema.
+	StartExpr, EndExpr expr.Expr
+
+	// WeightAttr is the SPScan weight attribute; KPaths is the number of
+	// shortest simple paths to enumerate per (start, target) pair.
+	WeightAttr string
+	KPaths     int
+
+	EdgeFilters   []ElemFilter
+	VertexFilters []ElemFilter
+	AggBounds     []AggBound
+}
+
+// PathColumn returns the schema column a PathScan contributes.
+func PathColumn(alias string) types.Column {
+	return types.Column{Qualifier: alias, Name: catalog.PathColumn, Type: types.KindPath}
+}
+
+// PathProbeJoin drives a PathScan from a relational outer input: every
+// outer tuple probes the traversal operator with its start (and target)
+// vertex bindings, exactly the QEP shape of Figure 6 in the paper. With a
+// Singleton outer it degenerates to a standalone path scan.
+type PathProbeJoin struct {
+	Outer Operator
+	Spec  PathScanSpec
+	// Residual is an optional path predicate (bound to the output schema)
+	// that could not be pushed into the traversal.
+	Residual expr.Expr
+
+	schema *types.Schema
+}
+
+// NewPathProbeJoin creates the probe join; the output schema is the outer
+// schema plus the path column.
+func NewPathProbeJoin(outer Operator, spec PathScanSpec, residual expr.Expr) *PathProbeJoin {
+	s := outer.Schema().Concat(types.NewSchema(PathColumn(spec.Alias)))
+	return &PathProbeJoin{Outer: outer, Spec: spec, Residual: residual, schema: s}
+}
+
+// Schema implements Operator.
+func (p *PathProbeJoin) Schema() *types.Schema { return p.schema }
+
+// Explain implements Operator.
+func (p *PathProbeJoin) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PathScan[%s] %s", p.Spec.Phys, p.Spec.GV.Name)
+	fmt.Fprintf(&sb, " len=[%d,%d]", p.Spec.MinLen, p.Spec.MaxLen)
+	if p.Spec.StartExpr != nil {
+		fmt.Fprintf(&sb, " start=%s", p.Spec.StartExpr)
+	}
+	if p.Spec.EndExpr != nil {
+		fmt.Fprintf(&sb, " end=%s", p.Spec.EndExpr)
+	}
+	if p.Spec.CycleClose {
+		sb.WriteString(" cycle")
+	}
+	if p.Spec.Policy == graph.VisitPerPath {
+		sb.WriteString(" allpaths")
+	}
+	if n := len(p.Spec.EdgeFilters) + len(p.Spec.VertexFilters); n > 0 {
+		fmt.Fprintf(&sb, " pushed=%d", n)
+	}
+	if len(p.Spec.AggBounds) > 0 {
+		fmt.Fprintf(&sb, " aggbounds=%d", len(p.Spec.AggBounds))
+	}
+	if p.Spec.Phys == PhysSP {
+		fmt.Fprintf(&sb, " weight=%s k=%d", p.Spec.WeightAttr, p.Spec.KPaths)
+	}
+	if p.Residual != nil {
+		fmt.Fprintf(&sb, " residual=%s", p.Residual)
+	}
+	return sb.String()
+}
+
+// Children implements Operator.
+func (p *PathProbeJoin) Children() []Operator { return []Operator{p.Outer} }
+
+// Open implements Operator.
+func (p *PathProbeJoin) Open(ctx *Context) (Iterator, error) {
+	outer, err := p.Outer.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	it := &pathProbeIter{ctx: ctx, p: p, outer: outer}
+	// Resolve pushed-filter attributes to source-column positions once so
+	// the per-edge hot path is a tuple-pointer dereference plus an index,
+	// not a name lookup (§3.2's O(1) linkage, made literal).
+	gv := p.Spec.GV
+	it.edgePos = make([]int, len(p.Spec.EdgeFilters))
+	for i := range p.Spec.EdgeFilters {
+		pos, ok := gv.EdgeAttrSourcePos(p.Spec.EdgeFilters[i].Attr)
+		if !ok {
+			pos = -1
+		}
+		it.edgePos[i] = pos
+	}
+	it.vertPos = make([]int, len(p.Spec.VertexFilters))
+	for i := range p.Spec.VertexFilters {
+		pos, ok := gv.VertexAttrSourcePos(p.Spec.VertexFilters[i].Attr)
+		if !ok {
+			pos = -1 // FanIn/FanOut: computed via the accessor
+		}
+		it.vertPos[i] = pos
+	}
+	it.boundPos = make([]int, len(p.Spec.AggBounds))
+	for i := range p.Spec.AggBounds {
+		pos := -1
+		if b := &p.Spec.AggBounds[i]; b.Attr != "" {
+			var ok bool
+			if b.Elem == expr.ElemVertexes {
+				pos, ok = gv.VertexAttrSourcePos(b.Attr)
+			} else {
+				pos, ok = gv.EdgeAttrSourcePos(b.Attr)
+			}
+			if !ok {
+				pos = -1
+			}
+		}
+		it.boundPos[i] = pos
+	}
+	it.weightPos = -1
+	if p.Spec.Phys == PhysSP {
+		if pos, ok := gv.EdgeAttrSourcePos(p.Spec.WeightAttr); ok {
+			it.weightPos = pos
+		}
+	}
+	return it, nil
+}
+
+type pathProbeIter struct {
+	ctx   *Context
+	p     *PathProbeJoin
+	outer Iterator
+
+	// Resolved source-column positions of pushed filters (-1 = use the
+	// accessor path, e.g. for computed FanIn/FanOut properties).
+	edgePos   []int
+	vertPos   []int
+	boundPos  []int
+	weightPos int
+
+	outerRow types.Row
+	starts   []*graph.Vertex
+	si       int
+	target   *graph.Vertex
+	consts   probeConsts
+	iter     graph.PathIterator
+	spErr    func() error
+	evalErr  error
+}
+
+// probeConsts holds the per-probe constant values of pushed filters.
+type probeConsts struct {
+	edgeOther []types.Value
+	edgeList  [][]types.Value
+	vertOther []types.Value
+	vertList  [][]types.Value
+	boundVals []types.Value
+}
+
+func (it *pathProbeIter) Next() (types.Row, error) {
+	for {
+		if it.iter != nil {
+			path := it.iter.Next()
+			if it.evalErr != nil {
+				return nil, it.evalErr
+			}
+			if path != nil {
+				it.ctx.PathsEmitted++
+				row := make(types.Row, 0, len(it.outerRow)+1)
+				row = append(row, it.outerRow...)
+				row = append(row, types.NewRef(types.KindPath, path))
+				if it.p.Residual != nil {
+					ok, err := expr.EvalBool(it.p.Residual, &expr.Env{Row: row, Params: it.ctx.Params})
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				return row, nil
+			}
+			if it.spErr != nil {
+				if err := it.spErr(); err != nil {
+					return nil, err
+				}
+			}
+			it.iter = nil
+		}
+		if it.si < len(it.starts) {
+			start := it.starts[it.si]
+			it.si++
+			if err := it.openTraversal(start); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Advance to the next outer row.
+		row, err := it.outer.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		it.outerRow = row
+		if err := it.bindProbe(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (it *pathProbeIter) Close() { it.outer.Close() }
+
+// bindProbe evaluates the outer-dependent parts of the spec for the
+// current outer row: start vertexes, target, and filter constants.
+func (it *pathProbeIter) bindProbe() error {
+	spec := &it.p.Spec
+	g := spec.GV.G
+	it.starts = it.starts[:0]
+	it.si = 0
+	it.target = nil
+
+	env := &expr.Env{Row: it.outerRow, Params: it.ctx.Params}
+	if spec.StartExpr != nil {
+		v, err := expr.Eval(spec.StartExpr, env)
+		if err != nil {
+			return fmt.Errorf("path start binding: %v", err)
+		}
+		if v.Kind == types.KindInt {
+			if sv := g.Vertex(v.I); sv != nil {
+				it.starts = append(it.starts, sv)
+			}
+		}
+	} else {
+		g.Vertices(func(v *graph.Vertex) bool {
+			it.starts = append(it.starts, v)
+			return true
+		})
+	}
+	if spec.EndExpr != nil {
+		v, err := expr.Eval(spec.EndExpr, env)
+		if err != nil {
+			return fmt.Errorf("path end binding: %v", err)
+		}
+		if v.Kind == types.KindInt {
+			it.target = g.Vertex(v.I)
+		}
+		if it.target == nil {
+			it.starts = it.starts[:0] // the bound endpoint does not exist
+		}
+	}
+	return it.bindConsts(env)
+}
+
+func (it *pathProbeIter) bindConsts(env *expr.Env) error {
+	spec := &it.p.Spec
+	c := &it.consts
+	evalList := func(list []expr.Expr) ([]types.Value, error) {
+		out := make([]types.Value, len(list))
+		for i, e := range list {
+			v, err := expr.Eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var err error
+	bindFilters := func(fs []ElemFilter) (others []types.Value, lists [][]types.Value, err error) {
+		others = make([]types.Value, len(fs))
+		lists = make([][]types.Value, len(fs))
+		for i := range fs {
+			if fs[i].IsIn {
+				if lists[i], err = evalList(fs[i].List); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				if others[i], err = expr.Eval(fs[i].Other, env); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		return others, lists, nil
+	}
+	if c.edgeOther, c.edgeList, err = bindFilters(spec.EdgeFilters); err != nil {
+		return err
+	}
+	if c.vertOther, c.vertList, err = bindFilters(spec.VertexFilters); err != nil {
+		return err
+	}
+	c.boundVals = make([]types.Value, len(spec.AggBounds))
+	for i := range spec.AggBounds {
+		if c.boundVals[i], err = expr.Eval(spec.AggBounds[i].Bound, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *pathProbeIter) evalFilter(f *ElemFilter, v types.Value, other types.Value, list []types.Value) bool {
+	if f.IsIn {
+		hit := false
+		for _, lv := range list {
+			if expr.CompareOp(expr.OpEq, v, lv) {
+				hit = true
+				break
+			}
+		}
+		return hit != f.InNeg
+	}
+	if f.Flipped {
+		return expr.CompareOp(f.Op, other, v)
+	}
+	return expr.CompareOp(f.Op, v, other)
+}
+
+// openTraversal instantiates the traversal kernel for one start vertex.
+func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
+	spec := &it.p.Spec
+	gv := spec.GV
+	it.evalErr = nil
+	it.spErr = nil
+
+	target := it.target
+	if spec.CycleClose {
+		target = start
+	}
+	gspec := graph.Spec{
+		Start:      start,
+		Target:     target,
+		MinLen:     spec.MinLen,
+		MaxLen:     spec.MaxLen,
+		Policy:     spec.Policy,
+		AllowCycle: spec.CycleClose,
+	}
+	gspec.FilterEdge = func(pos int, e *graph.Edge, from, to *graph.Vertex) bool {
+		it.ctx.EdgesTraversed++
+		for i := range spec.EdgeFilters {
+			f := &spec.EdgeFilters[i]
+			if !f.contains(pos) {
+				continue
+			}
+			v, err := it.edgeAttr(e, it.edgePos[i], f.Attr)
+			if err != nil {
+				it.evalErr = err
+				return false
+			}
+			if !it.evalFilter(f, v, it.consts.edgeOther[i], it.consts.edgeList[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(spec.VertexFilters) > 0 {
+		gspec.FilterVertex = func(pos int, v *graph.Vertex) bool {
+			for i := range spec.VertexFilters {
+				f := &spec.VertexFilters[i]
+				if !f.contains(pos) {
+					continue
+				}
+				val, err := it.vertexAttr(v, it.vertPos[i], f.Attr)
+				if err != nil {
+					it.evalErr = err
+					return false
+				}
+				if !it.evalFilter(f, val, it.consts.vertOther[i], it.consts.vertList[i]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if len(spec.AggBounds) > 0 {
+		gspec.Prune = func(p *graph.Path) bool {
+			for i := range spec.AggBounds {
+				if !it.checkBound(i, it.consts.boundVals[i], p) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	switch spec.Phys {
+	case PhysSP:
+		weight := func(pos int, e *graph.Edge, from, to *graph.Vertex) (float64, bool) {
+			v, err := it.edgeAttr(e, it.weightPos, spec.WeightAttr)
+			if err != nil {
+				it.evalErr = err
+				return 0, false
+			}
+			if !v.IsNumeric() {
+				it.evalErr = fmt.Errorf("SPScan weight attribute %s.%s is not numeric (kind %s)",
+					gv.Name, spec.WeightAttr, v.Kind)
+				return 0, false
+			}
+			return v.AsFloat(), true
+		}
+		k := spec.KPaths
+		sp := graph.NewShortest(gv.G, gspec, weight, k)
+		it.iter = sp
+		it.spErr = sp.Err
+	case PhysBFS:
+		it.iter = graph.NewBFS(gv.G, gspec)
+	default:
+		it.iter = graph.NewDFS(gv.G, gspec)
+	}
+	return nil
+}
+
+// checkBound prunes a partial path that already violates a monotone
+// aggregate bound. Pruning is skipped (returns true) when any contribution
+// is negative, since the aggregate could still shrink.
+func (it *pathProbeIter) checkBound(bi int, bound types.Value, p *graph.Path) bool {
+	b := &it.p.Spec.AggBounds[bi]
+	if bound.IsNull() || !bound.IsNumeric() {
+		return true // leave it to the residual filter
+	}
+	var acc float64
+	switch b.Agg {
+	case "COUNT":
+		if b.Elem == expr.ElemVertexes {
+			acc = float64(len(p.Verts))
+		} else {
+			acc = float64(len(p.Edges))
+		}
+	case "SUM":
+		n := len(p.Edges)
+		if b.Elem == expr.ElemVertexes {
+			n = len(p.Verts)
+		}
+		pos := it.boundPos[bi]
+		for i := 0; i < n; i++ {
+			var v types.Value
+			var err error
+			if b.Elem == expr.ElemVertexes {
+				v, err = it.vertexAttr(p.Verts[i], pos, b.Attr)
+			} else {
+				v, err = it.edgeAttr(p.Edges[i], pos, b.Attr)
+			}
+			if err != nil {
+				it.evalErr = err
+				return false
+			}
+			if v.IsNull() || !v.IsNumeric() {
+				return true
+			}
+			f := v.AsFloat()
+			if f < 0 {
+				return true // non-monotone: cannot prune soundly
+			}
+			acc += f
+		}
+	default:
+		return true
+	}
+	switch b.Op {
+	case expr.OpLt:
+		return acc < bound.AsFloat()
+	case expr.OpLe:
+		return acc <= bound.AsFloat()
+	default:
+		return true
+	}
+}
+
+// edgeAttr reads one edge attribute, via the resolved source-column
+// position when available (the hot path) or the accessor otherwise.
+func (it *pathProbeIter) edgeAttr(e *graph.Edge, pos int, attr string) (types.Value, error) {
+	if pos >= 0 {
+		row, ok := it.p.Spec.GV.EdgeTable().Get(storage.RowID(e.Tuple))
+		if !ok {
+			return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for edge %d",
+				it.p.Spec.GV.Name, e.ID)
+		}
+		return row[pos], nil
+	}
+	return it.p.Spec.GV.EdgeAttrValue(e, attr)
+}
+
+// vertexAttr reads one vertex attribute analogously; computed properties
+// (FanIn/FanOut) take the accessor path.
+func (it *pathProbeIter) vertexAttr(v *graph.Vertex, pos int, attr string) (types.Value, error) {
+	if pos >= 0 {
+		row, ok := it.p.Spec.GV.VertexTable().Get(storage.RowID(v.Tuple))
+		if !ok {
+			return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d",
+				it.p.Spec.GV.Name, v.ID)
+		}
+		return row[pos], nil
+	}
+	return it.p.Spec.GV.VertexAttrValue(v, attr)
+}

@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"fmt"
+
+	"grfusion/internal/catalog"
+	"grfusion/internal/expr"
+	"grfusion/internal/graph"
+	"grfusion/internal/storage"
+	"grfusion/internal/types"
+)
+
+// Singleton produces exactly one empty row. It anchors path scans and
+// constant SELECTs that have no relational input.
+type Singleton struct{}
+
+// Schema implements Operator.
+func (Singleton) Schema() *types.Schema { return types.NewSchema() }
+
+// Open implements Operator.
+func (Singleton) Open(*Context) (Iterator, error) { return &singletonIter{}, nil }
+
+// Explain implements Operator.
+func (Singleton) Explain() string { return "Singleton" }
+
+// Children implements Operator.
+func (Singleton) Children() []Operator { return nil }
+
+type singletonIter struct{ done bool }
+
+func (s *singletonIter) Next() (types.Row, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return types.Row{}, nil
+}
+func (s *singletonIter) Close() {}
+
+// SeqScan scans a table, optionally filtering. The filter is bound against
+// the scan's output schema.
+type SeqScan struct {
+	Table  *storage.Table
+	Alias  string
+	Filter expr.Expr
+
+	schema *types.Schema
+}
+
+// NewSeqScan creates a sequential scan over table under the given range
+// variable.
+func NewSeqScan(t *storage.Table, alias string, filter expr.Expr) *SeqScan {
+	return &SeqScan{Table: t, Alias: alias, Filter: filter,
+		schema: t.Schema().WithQualifier(alias)}
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *types.Schema { return s.schema }
+
+// Explain implements Operator.
+func (s *SeqScan) Explain() string {
+	out := fmt.Sprintf("SeqScan %s", s.Table.Name())
+	if s.Alias != "" && s.Alias != s.Table.Name() {
+		out += " AS " + s.Alias
+	}
+	if s.Filter != nil {
+		out += fmt.Sprintf(" filter=%s", s.Filter)
+	}
+	return out
+}
+
+// Children implements Operator.
+func (s *SeqScan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *SeqScan) Open(ctx *Context) (Iterator, error) {
+	// Materialize the matching row ids up front: tables are not versioned
+	// MVCC stores, and the engine serializes statements, so a snapshot of
+	// ids is stable for the statement's lifetime.
+	var ids []storage.RowID
+	s.Table.Scan(func(id storage.RowID, row types.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return &seqScanIter{ctx: ctx, s: s, ids: ids}, nil
+}
+
+type seqScanIter struct {
+	ctx *Context
+	s   *SeqScan
+	ids []storage.RowID
+	i   int
+}
+
+func (it *seqScanIter) Next() (types.Row, error) {
+	for it.i < len(it.ids) {
+		row, ok := it.s.Table.Get(it.ids[it.i])
+		it.i++
+		if !ok {
+			continue
+		}
+		if it.s.Filter != nil {
+			ok, err := expr.EvalBool(it.s.Filter, &expr.Env{Row: row, Params: it.ctx.Params})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		it.ctx.RowsEmitted++
+		return row, nil
+	}
+	return nil, nil
+}
+func (it *seqScanIter) Close() {}
+
+// IndexScan fetches rows whose indexed columns equal the given key
+// expressions (evaluated once at Open; they must be constant).
+type IndexScan struct {
+	Table  *storage.Table
+	Alias  string
+	Index  *storage.Index
+	Keys   []expr.Expr // one per indexed column, constant
+	Filter expr.Expr
+
+	schema *types.Schema
+}
+
+// NewIndexScan creates an index point-lookup scan.
+func NewIndexScan(t *storage.Table, alias string, ix *storage.Index, keys []expr.Expr, filter expr.Expr) *IndexScan {
+	return &IndexScan{Table: t, Alias: alias, Index: ix, Keys: keys, Filter: filter,
+		schema: t.Schema().WithQualifier(alias)}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *types.Schema { return s.schema }
+
+// Explain implements Operator.
+func (s *IndexScan) Explain() string {
+	out := fmt.Sprintf("IndexScan %s using %s", s.Table.Name(), s.Index.Name())
+	if s.Filter != nil {
+		out += fmt.Sprintf(" filter=%s", s.Filter)
+	}
+	return out
+}
+
+// Children implements Operator.
+func (s *IndexScan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *IndexScan) Open(ctx *Context) (Iterator, error) {
+	key := make(types.Row, len(s.Keys))
+	for i, e := range s.Keys {
+		v, err := expr.Eval(e, &expr.Env{Params: ctx.Params})
+		if err != nil {
+			return nil, fmt.Errorf("index key: %v", err)
+		}
+		key[i] = v
+	}
+	ids := s.Index.Lookup(key)
+	return &indexScanIter{ctx: ctx, s: s, ids: ids}, nil
+}
+
+type indexScanIter struct {
+	ctx *Context
+	s   *IndexScan
+	ids []storage.RowID
+	i   int
+}
+
+func (it *indexScanIter) Next() (types.Row, error) {
+	for it.i < len(it.ids) {
+		row, ok := it.s.Table.Get(it.ids[it.i])
+		it.i++
+		if !ok {
+			continue
+		}
+		if it.s.Filter != nil {
+			ok, err := expr.EvalBool(it.s.Filter, &expr.Env{Row: row, Params: it.ctx.Params})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		it.ctx.RowsEmitted++
+		return row, nil
+	}
+	return nil, nil
+}
+func (it *indexScanIter) Close() {}
+
+// VertexScan iterates the vertexes of a graph view as extended tuples
+// (attributes + FanOut/FanIn), the paper's VertexScan operator (§5.1.1).
+type VertexScan struct {
+	GV     *catalog.GraphView
+	Alias  string
+	Filter expr.Expr
+
+	schema *types.Schema
+}
+
+// NewVertexScan creates a vertex scan over the graph view.
+func NewVertexScan(gv *catalog.GraphView, alias string, filter expr.Expr) *VertexScan {
+	return &VertexScan{GV: gv, Alias: alias, Filter: filter,
+		schema: gv.VertexSchema().WithQualifier(alias)}
+}
+
+// Schema implements Operator.
+func (s *VertexScan) Schema() *types.Schema { return s.schema }
+
+// Explain implements Operator.
+func (s *VertexScan) Explain() string {
+	out := fmt.Sprintf("VertexScan %s", s.GV.Name)
+	if s.Filter != nil {
+		out += fmt.Sprintf(" filter=%s", s.Filter)
+	}
+	return out
+}
+
+// Children implements Operator.
+func (s *VertexScan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *VertexScan) Open(ctx *Context) (Iterator, error) {
+	var verts []*graph.Vertex
+	s.GV.G.Vertices(func(v *graph.Vertex) bool {
+		verts = append(verts, v)
+		return true
+	})
+	return &vertexScanIter{ctx: ctx, s: s, verts: verts}, nil
+}
+
+type vertexScanIter struct {
+	ctx   *Context
+	s     *VertexScan
+	verts []*graph.Vertex
+	i     int
+}
+
+func (it *vertexScanIter) Next() (types.Row, error) {
+	for it.i < len(it.verts) {
+		v := it.verts[it.i]
+		it.i++
+		row, err := it.s.GV.VertexRow(v)
+		if err != nil {
+			return nil, err
+		}
+		if it.s.Filter != nil {
+			ok, err := expr.EvalBool(it.s.Filter, &expr.Env{Row: row, Params: it.ctx.Params})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		it.ctx.RowsEmitted++
+		return row, nil
+	}
+	return nil, nil
+}
+func (it *vertexScanIter) Close() {}
+
+// EdgeScan iterates the edges of a graph view as extended tuples, the
+// paper's EdgeScan operator (§5.1.1).
+type EdgeScan struct {
+	GV     *catalog.GraphView
+	Alias  string
+	Filter expr.Expr
+
+	schema *types.Schema
+}
+
+// NewEdgeScan creates an edge scan over the graph view.
+func NewEdgeScan(gv *catalog.GraphView, alias string, filter expr.Expr) *EdgeScan {
+	return &EdgeScan{GV: gv, Alias: alias, Filter: filter,
+		schema: gv.EdgeSchema().WithQualifier(alias)}
+}
+
+// Schema implements Operator.
+func (s *EdgeScan) Schema() *types.Schema { return s.schema }
+
+// Explain implements Operator.
+func (s *EdgeScan) Explain() string {
+	out := fmt.Sprintf("EdgeScan %s", s.GV.Name)
+	if s.Filter != nil {
+		out += fmt.Sprintf(" filter=%s", s.Filter)
+	}
+	return out
+}
+
+// Children implements Operator.
+func (s *EdgeScan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *EdgeScan) Open(ctx *Context) (Iterator, error) {
+	var edges []*graph.Edge
+	s.GV.G.Edges(func(e *graph.Edge) bool {
+		edges = append(edges, e)
+		return true
+	})
+	return &edgeScanIter{ctx: ctx, s: s, edges: edges}, nil
+}
+
+type edgeScanIter struct {
+	ctx   *Context
+	s     *EdgeScan
+	edges []*graph.Edge
+	i     int
+}
+
+func (it *edgeScanIter) Next() (types.Row, error) {
+	for it.i < len(it.edges) {
+		e := it.edges[it.i]
+		it.i++
+		row, err := it.s.GV.EdgeRow(e)
+		if err != nil {
+			return nil, err
+		}
+		if it.s.Filter != nil {
+			ok, err := expr.EvalBool(it.s.Filter, &expr.Env{Row: row, Params: it.ctx.Params})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		it.ctx.RowsEmitted++
+		return row, nil
+	}
+	return nil, nil
+}
+func (it *edgeScanIter) Close() {}

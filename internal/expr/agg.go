@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"grfusion/internal/types"
+)
+
+// AggState accumulates one aggregate function over a stream of values. It
+// is shared by the executor's hash-aggregate operator and by per-path
+// aggregates (SUM(PS.Edges.W)). NULL inputs are skipped per SQL semantics;
+// COUNT(*) is modeled by adding a non-null dummy value per row.
+type AggState struct {
+	name  string
+	count int64
+	sumI  int64
+	sumF  float64
+	isInt bool
+	first bool
+	best  types.Value // MIN/MAX running value
+
+	distinct map[string]bool // non-nil for DISTINCT aggregates
+}
+
+// NewAggState creates an accumulator for the (upper-cased) aggregate name:
+// COUNT, SUM, AVG, MIN or MAX.
+func NewAggState(name string) *AggState {
+	return &AggState{name: strings.ToUpper(name), isInt: true, first: true}
+}
+
+// NewDistinctAggState creates an accumulator that ignores duplicate inputs.
+func NewDistinctAggState(name string) *AggState {
+	s := NewAggState(name)
+	s.distinct = make(map[string]bool)
+	return s
+}
+
+// Add folds one value into the aggregate.
+func (s *AggState) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if s.distinct != nil {
+		k := v.Key()
+		if s.distinct[k] {
+			return nil
+		}
+		s.distinct[k] = true
+	}
+	switch s.name {
+	case "COUNT":
+		s.count++
+		return nil
+	case "SUM", "AVG":
+		if !v.IsNumeric() {
+			return fmt.Errorf("%s on non-numeric value of kind %s", s.name, v.Kind)
+		}
+		s.count++
+		if v.Kind == types.KindFloat {
+			s.isInt = false
+		}
+		s.sumI += v.AsInt()
+		s.sumF += v.AsFloat()
+		return nil
+	case "MIN":
+		s.count++
+		if s.first || types.Compare(v, s.best) < 0 {
+			s.best = v
+			s.first = false
+		}
+		return nil
+	case "MAX":
+		s.count++
+		if s.first || types.Compare(v, s.best) > 0 {
+			s.best = v
+			s.first = false
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown aggregate %s", s.name)
+	}
+}
+
+// Result returns the aggregate value. Empty SUM/AVG/MIN/MAX are NULL;
+// empty COUNT is 0.
+func (s *AggState) Result() types.Value {
+	switch s.name {
+	case "COUNT":
+		return types.NewInt(s.count)
+	case "SUM":
+		if s.count == 0 {
+			return types.Null()
+		}
+		if s.isInt {
+			return types.NewInt(s.sumI)
+		}
+		return types.NewFloat(s.sumF)
+	case "AVG":
+		if s.count == 0 {
+			return types.Null()
+		}
+		return types.NewFloat(s.sumF / float64(s.count))
+	default:
+		if s.first {
+			return types.Null()
+		}
+		return s.best
+	}
+}

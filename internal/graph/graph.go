@@ -1,0 +1,281 @@
+// Package graph implements the native in-memory graph structure that backs
+// GRFusion's graph views (§3 of the paper).
+//
+// A Graph stores only the *topology*: vertexes, edges, and adjacency lists.
+// Vertex and edge attributes stay in their relational sources; each element
+// carries a tuple pointer (a storage RowID) so attributes are reachable in
+// O(1), and the id → element hash maps give the reverse O(1) navigation
+// from the relational store into the graph (§3.2). The topology therefore
+// acts as a traversal index over the relational data.
+//
+// Graphs are not internally synchronized; the engine serializes access.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex is one node of a graph view's topology.
+type Vertex struct {
+	// ID is the vertex identifier drawn from the vertexes relational-source.
+	ID int64
+	// Tuple is the tuple pointer (RowID) into the vertexes relational-source.
+	Tuple uint64
+	// Out and In are the adjacency lists of outgoing and incoming edges.
+	Out []*Edge
+	In  []*Edge
+}
+
+// Edge is one edge of a graph view's topology.
+type Edge struct {
+	// ID is the edge identifier drawn from the edges relational-source.
+	ID int64
+	// From and To are the edge endpoints as stored (for undirected graphs
+	// the traversal order may be either way).
+	From, To *Vertex
+	// Tuple is the tuple pointer (RowID) into the edges relational-source.
+	Tuple uint64
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e *Edge) Other(v *Vertex) *Vertex {
+	switch v {
+	case e.From:
+		return e.To
+	case e.To:
+		return e.From
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %d", v.ID, e.ID))
+	}
+}
+
+// Graph is the materialized topology of a graph view.
+type Graph struct {
+	name     string
+	directed bool
+
+	vertices map[int64]*Vertex
+	edges    map[int64]*Edge
+}
+
+// New creates an empty graph topology.
+func New(name string, directed bool) *Graph {
+	return &Graph{
+		name:     name,
+		directed: directed,
+		vertices: make(map[int64]*Vertex),
+		edges:    make(map[int64]*Edge),
+	}
+}
+
+// Name returns the graph-view name this topology belongs to.
+func (g *Graph) Name() string { return g.name }
+
+// Directed reports whether edges are one-way.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Vertex returns the vertex with the given id, or nil.
+func (g *Graph) Vertex(id int64) *Vertex { return g.vertices[id] }
+
+// Edge returns the edge with the given id, or nil.
+func (g *Graph) Edge(id int64) *Edge { return g.edges[id] }
+
+// AddVertex inserts a vertex with the given identifier and tuple pointer.
+func (g *Graph) AddVertex(id int64, tuple uint64) (*Vertex, error) {
+	if _, dup := g.vertices[id]; dup {
+		return nil, fmt.Errorf("graph %s: duplicate vertex id %d", g.name, id)
+	}
+	v := &Vertex{ID: id, Tuple: tuple}
+	g.vertices[id] = v
+	return v, nil
+}
+
+// AddEdge inserts an edge between existing vertexes. Per §3.1 the endpoints
+// of every edge are constrained to be members of the vertex set.
+func (g *Graph) AddEdge(id, from, to int64, tuple uint64) (*Edge, error) {
+	if _, dup := g.edges[id]; dup {
+		return nil, fmt.Errorf("graph %s: duplicate edge id %d", g.name, id)
+	}
+	fv := g.vertices[from]
+	if fv == nil {
+		return nil, fmt.Errorf("graph %s: edge %d references missing vertex %d", g.name, id, from)
+	}
+	tv := g.vertices[to]
+	if tv == nil {
+		return nil, fmt.Errorf("graph %s: edge %d references missing vertex %d", g.name, id, to)
+	}
+	e := &Edge{ID: id, From: fv, To: tv, Tuple: tuple}
+	g.edges[id] = e
+	fv.Out = append(fv.Out, e)
+	tv.In = append(tv.In, e)
+	return e, nil
+}
+
+// RemoveEdge deletes the edge with the given id, reporting whether it existed.
+func (g *Graph) RemoveEdge(id int64) bool {
+	e, ok := g.edges[id]
+	if !ok {
+		return false
+	}
+	delete(g.edges, id)
+	e.From.Out = removeEdge(e.From.Out, e)
+	e.To.In = removeEdge(e.To.In, e)
+	return true
+}
+
+// RemoveVertex deletes a vertex and every incident edge, returning the ids
+// of the cascaded edges (sorted) and whether the vertex existed.
+func (g *Graph) RemoveVertex(id int64) (cascaded []int64, ok bool) {
+	v, ok := g.vertices[id]
+	if !ok {
+		return nil, false
+	}
+	for _, e := range v.Out {
+		cascaded = append(cascaded, e.ID)
+	}
+	for _, e := range v.In {
+		// A self-loop appears in both lists; report it once.
+		if e.From != e.To {
+			cascaded = append(cascaded, e.ID)
+		}
+	}
+	sort.Slice(cascaded, func(i, j int) bool { return cascaded[i] < cascaded[j] })
+	for _, eid := range cascaded {
+		g.RemoveEdge(eid)
+	}
+	delete(g.vertices, id)
+	return cascaded, true
+}
+
+// RenameVertex changes a vertex identifier in place, keeping adjacency
+// intact. It supports §3.3.1's identifier-consistency maintenance when the
+// relational id attribute is updated.
+func (g *Graph) RenameVertex(old, new int64) error {
+	v, ok := g.vertices[old]
+	if !ok {
+		return fmt.Errorf("graph %s: rename of missing vertex %d", g.name, old)
+	}
+	if old == new {
+		return nil
+	}
+	if _, dup := g.vertices[new]; dup {
+		return fmt.Errorf("graph %s: rename to duplicate vertex id %d", g.name, new)
+	}
+	delete(g.vertices, old)
+	v.ID = new
+	g.vertices[new] = v
+	return nil
+}
+
+// RenameEdge changes an edge identifier in place.
+func (g *Graph) RenameEdge(old, new int64) error {
+	e, ok := g.edges[old]
+	if !ok {
+		return fmt.Errorf("graph %s: rename of missing edge %d", g.name, old)
+	}
+	if old == new {
+		return nil
+	}
+	if _, dup := g.edges[new]; dup {
+		return fmt.Errorf("graph %s: rename to duplicate edge id %d", g.name, new)
+	}
+	delete(g.edges, old)
+	e.ID = new
+	g.edges[new] = e
+	return nil
+}
+
+func removeEdge(list []*Edge, e *Edge) []*Edge {
+	for i, x := range list {
+		if x == e {
+			copy(list[i:], list[i+1:])
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// FanOut returns the number of edges leaving v under the graph's
+// directedness: the out-degree for directed graphs, the full degree for
+// undirected ones (every incident edge can be traversed outward).
+func (g *Graph) FanOut(v *Vertex) int {
+	if g.directed {
+		return len(v.Out)
+	}
+	return len(v.Out) + len(v.In)
+}
+
+// FanIn returns the number of edges entering v (the full degree for
+// undirected graphs).
+func (g *Graph) FanIn(v *Vertex) int {
+	if g.directed {
+		return len(v.In)
+	}
+	return len(v.Out) + len(v.In)
+}
+
+// AvgFanOut returns the average fan-out statistic the optimizer keeps per
+// graph view (§6.3) to choose between BFS and DFS physical operators.
+func (g *Graph) AvgFanOut() float64 {
+	if len(g.vertices) == 0 {
+		return 0
+	}
+	if g.directed {
+		return float64(len(g.edges)) / float64(len(g.vertices))
+	}
+	return 2 * float64(len(g.edges)) / float64(len(g.vertices))
+}
+
+// Vertices calls fn for every vertex in ascending id order until fn
+// returns false. The order is deterministic to keep query results stable.
+func (g *Graph) Vertices(fn func(*Vertex) bool) {
+	ids := make([]int64, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(g.vertices[id]) {
+			return
+		}
+	}
+}
+
+// Edges calls fn for every edge in ascending id order until fn returns false.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	ids := make([]int64, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(g.edges[id]) {
+			return
+		}
+	}
+}
+
+// ApproxBytes estimates the resident size of the topology (vertex/edge
+// structs, adjacency slices, and hash maps), for the memory-overhead
+// experiment. It deliberately excludes the relational attribute storage:
+// the whole point of §3.2 is that the topology does not replicate it.
+func (g *Graph) ApproxBytes() int64 {
+	const (
+		vertexSize   = 64 // struct + map entry overhead
+		edgeSize     = 64
+		slicePointer = 8
+	)
+	total := int64(len(g.vertices))*vertexSize + int64(len(g.edges))*edgeSize
+	for _, v := range g.vertices {
+		total += int64(cap(v.Out)+cap(v.In)) * slicePointer
+	}
+	return total
+}

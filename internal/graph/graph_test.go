@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"testing"
+)
+
+// chain builds 1 -> 2 -> ... -> n with edge i: i -> i+1 (edge id = i).
+func chain(n int, directed bool) *Graph {
+	g := New("chain", directed)
+	for i := 1; i <= n; i++ {
+		if _, err := g.AddVertex(int64(i), uint64(i)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(int64(i), int64(i), int64(i+1), uint64(i)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// triangleGraph builds the directed cycle 1 -> 2 -> 3 -> 1.
+func triangleGraph() *Graph {
+	g := New("tri", true)
+	for i := 1; i <= 3; i++ {
+		g.AddVertex(int64(i), uint64(i))
+	}
+	g.AddEdge(1, 1, 2, 1)
+	g.AddEdge(2, 2, 3, 2)
+	g.AddEdge(3, 3, 1, 3)
+	return g
+}
+
+func TestAddVertexEdgeBasics(t *testing.T) {
+	g := New("g", true)
+	v1, err := g.AddVertex(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddVertex(1, 101); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	if _, err := g.AddEdge(1, 1, 2, 200); err == nil {
+		t.Error("edge to missing vertex accepted")
+	}
+	v2, _ := g.AddVertex(2, 102)
+	e, err := g.AddEdge(1, 1, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2, 1, 201); err == nil {
+		t.Error("duplicate edge id accepted")
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Errorf("counts: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Vertex(1) != v1 || g.Edge(1) != e {
+		t.Error("lookup mismatch")
+	}
+	if e.From != v1 || e.To != v2 {
+		t.Error("edge endpoints wrong")
+	}
+	if e.Other(v1) != v2 || e.Other(v2) != v1 {
+		t.Error("Other wrong")
+	}
+	if v1.Tuple != 100 || e.Tuple != 200 {
+		t.Error("tuple pointers lost")
+	}
+}
+
+func TestFanInFanOut(t *testing.T) {
+	g := triangleGraph()
+	v := g.Vertex(1)
+	if g.FanOut(v) != 1 || g.FanIn(v) != 1 {
+		t.Errorf("directed fan: out=%d in=%d", g.FanOut(v), g.FanIn(v))
+	}
+	u := New("u", false)
+	u.AddVertex(1, 1)
+	u.AddVertex(2, 2)
+	u.AddVertex(3, 3)
+	u.AddEdge(1, 1, 2, 1)
+	u.AddEdge(2, 3, 1, 2)
+	w := u.Vertex(1)
+	if u.FanOut(w) != 2 || u.FanIn(w) != 2 {
+		t.Errorf("undirected fan must be degree: out=%d in=%d", u.FanOut(w), u.FanIn(w))
+	}
+}
+
+func TestAvgFanOut(t *testing.T) {
+	g := triangleGraph()
+	if got := g.AvgFanOut(); got != 1 {
+		t.Errorf("directed avg fan-out = %g", got)
+	}
+	u := chain(3, false)
+	if got := u.AvgFanOut(); got != 4.0/3.0 {
+		t.Errorf("undirected avg fan-out = %g", got)
+	}
+	if New("e", true).AvgFanOut() != 0 {
+		t.Error("empty graph avg fan-out must be 0")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := triangleGraph()
+	if !g.RemoveEdge(2) {
+		t.Fatal("remove failed")
+	}
+	if g.RemoveEdge(2) {
+		t.Error("double remove succeeded")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	v2 := g.Vertex(2)
+	if len(v2.Out) != 0 {
+		t.Error("adjacency not cleaned")
+	}
+}
+
+func TestRemoveVertexCascades(t *testing.T) {
+	g := triangleGraph()
+	cascaded, ok := g.RemoveVertex(2)
+	if !ok {
+		t.Fatal("remove failed")
+	}
+	if len(cascaded) != 2 || cascaded[0] != 1 || cascaded[1] != 2 {
+		t.Errorf("cascaded = %v", cascaded)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Errorf("after cascade: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if _, ok := g.RemoveVertex(2); ok {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestRemoveVertexSelfLoop(t *testing.T) {
+	g := New("loop", true)
+	g.AddVertex(1, 1)
+	g.AddEdge(7, 1, 1, 7)
+	cascaded, ok := g.RemoveVertex(1)
+	if !ok || len(cascaded) != 1 || cascaded[0] != 7 {
+		t.Errorf("self-loop cascade = %v, %v", cascaded, ok)
+	}
+	if g.NumEdges() != 0 {
+		t.Error("self-loop survived")
+	}
+}
+
+func TestRenameVertex(t *testing.T) {
+	g := triangleGraph()
+	if err := g.RenameVertex(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if g.Vertex(1) != nil || g.Vertex(10) == nil || g.Vertex(10).ID != 10 {
+		t.Error("rename broken")
+	}
+	// Adjacency intact.
+	if g.Vertex(10).Out[0].To.ID != 2 {
+		t.Error("adjacency broken by rename")
+	}
+	if err := g.RenameVertex(99, 100); err == nil {
+		t.Error("rename of missing vertex accepted")
+	}
+	if err := g.RenameVertex(10, 2); err == nil {
+		t.Error("rename to duplicate accepted")
+	}
+	if err := g.RenameVertex(10, 10); err != nil {
+		t.Error("no-op rename must succeed")
+	}
+}
+
+func TestRenameEdge(t *testing.T) {
+	g := triangleGraph()
+	if err := g.RenameEdge(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(1) != nil || g.Edge(11) == nil {
+		t.Error("rename broken")
+	}
+	if err := g.RenameEdge(99, 1); err == nil {
+		t.Error("rename missing edge accepted")
+	}
+	if err := g.RenameEdge(11, 2); err == nil {
+		t.Error("rename to duplicate accepted")
+	}
+}
+
+func TestVerticesEdgesDeterministicOrder(t *testing.T) {
+	g := New("g", true)
+	for _, id := range []int64{5, 3, 9, 1} {
+		g.AddVertex(id, uint64(id))
+	}
+	var ids []int64
+	g.Vertices(func(v *Vertex) bool { ids = append(ids, v.ID); return true })
+	want := []int64{1, 3, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("vertex order %v", ids)
+		}
+	}
+	// Early stop.
+	n := 0
+	g.Vertices(func(*Vertex) bool { n++; return false })
+	if n != 1 {
+		t.Error("early stop ignored")
+	}
+}
+
+func TestApproxBytesScales(t *testing.T) {
+	small := chain(10, true).ApproxBytes()
+	big := chain(1000, true).ApproxBytes()
+	if big <= small {
+		t.Errorf("topology bytes: %d !> %d", big, small)
+	}
+}

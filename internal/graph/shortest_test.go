@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// weightedDiamond: 1->2 (w1), 1->3 (w5), 2->4 (w1), 3->4 (w1), 1->4 (w10).
+func weightedDiamond() (*Graph, WeightFunc) {
+	g := New("wd", true)
+	for i := 1; i <= 4; i++ {
+		g.AddVertex(int64(i), uint64(i))
+	}
+	g.AddEdge(1, 1, 2, 1)
+	g.AddEdge(2, 1, 3, 2)
+	g.AddEdge(3, 2, 4, 3)
+	g.AddEdge(4, 3, 4, 4)
+	g.AddEdge(5, 1, 4, 5)
+	w := map[int64]float64{1: 1, 2: 5, 3: 1, 4: 1, 5: 10}
+	return g, func(pos int, e *Edge, from, to *Vertex) (float64, bool) { return w[e.ID], true }
+}
+
+func TestDijkstraFindsCheapestPath(t *testing.T) {
+	g, w := weightedDiamond()
+	p, err := ShortestPath(g, g.Vertex(1), g.Vertex(4), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Cost != 2 || p.Len() != 2 {
+		t.Fatalf("shortest = %v (cost %g)", p, p.Cost)
+	}
+	if p.Verts[1].ID != 2 {
+		t.Errorf("wrong route via %d", p.Verts[1].ID)
+	}
+}
+
+func TestDijkstraEmitsInCostOrder(t *testing.T) {
+	g, w := weightedDiamond()
+	it := NewShortest(g, Spec{Start: g.Vertex(1), MinLen: 0}, w, 1)
+	var costs []float64
+	for p := it.Next(); p != nil; p = it.Next() {
+		costs = append(costs, p.Cost)
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(costs) != 4 { // one settled path per vertex
+		t.Fatalf("settled %d paths", len(costs))
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] < costs[i-1] {
+			t.Fatalf("costs out of order: %v", costs)
+		}
+	}
+}
+
+func TestKShortestSimplePaths(t *testing.T) {
+	g, w := weightedDiamond()
+	it := NewShortest(g, Spec{Start: g.Vertex(1), Target: g.Vertex(4), MinLen: 1}, w, 3)
+	var got []float64
+	for p := it.Next(); p != nil; p = it.Next() {
+		got = append(got, p.Cost)
+	}
+	want := []float64{2, 6, 10}
+	if len(got) != len(want) {
+		t.Fatalf("k-shortest costs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("k-shortest costs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestShortestUnreachable(t *testing.T) {
+	g := chain(3, true)
+	p, err := ShortestPath(g, g.Vertex(3), g.Vertex(1), UnitWeight)
+	if err != nil || p != nil {
+		t.Errorf("unreachable: p=%v err=%v", p, err)
+	}
+	p, err = ShortestPath(g, nil, g.Vertex(1), UnitWeight)
+	if err != nil || p != nil {
+		t.Errorf("nil start: p=%v err=%v", p, err)
+	}
+}
+
+func TestNegativeWeightReported(t *testing.T) {
+	g := chain(3, true)
+	neg := func(pos int, e *Edge, from, to *Vertex) (float64, bool) { return -1, true }
+	it := NewShortest(g, Spec{Start: g.Vertex(1), MinLen: 1}, neg, 1)
+	if p := it.Next(); p != nil {
+		t.Error("path emitted despite negative weight")
+	}
+	if it.Err() == nil {
+		t.Error("negative weight not reported")
+	}
+}
+
+func TestWeightFuncCanFilterEdges(t *testing.T) {
+	g, w := weightedDiamond()
+	// Exclude the 1->2 edge: best path becomes 1->3->4 at cost 6.
+	filtered := func(pos int, e *Edge, from, to *Vertex) (float64, bool) {
+		if e.ID == 1 {
+			return 0, false
+		}
+		return w(pos, e, from, to)
+	}
+	p, err := ShortestPath(g, g.Vertex(1), g.Vertex(4), filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Cost != 6 {
+		t.Fatalf("filtered shortest cost = %v", p)
+	}
+}
+
+func TestShortestRespectsMaxLen(t *testing.T) {
+	g, w := weightedDiamond()
+	it := NewShortest(g, Spec{Start: g.Vertex(1), Target: g.Vertex(4), MinLen: 1, MaxLen: 1}, w, 1)
+	p := it.Next()
+	if p == nil || p.Len() != 1 || p.Cost != 10 {
+		t.Fatalf("maxlen-1 shortest = %v", p)
+	}
+}
+
+// Property: on unit weights, Dijkstra's distance to any target equals the
+// BFS hop distance.
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(25, 60, seed%1000)
+		rng := rand.New(rand.NewSource(seed))
+		target := g.Vertex(rng.Int63n(25))
+		start := g.Vertex(0)
+
+		bfs := NewBFS(g, Spec{Start: start, Target: target, MinLen: 0})
+		bp := bfs.Next()
+		sp, err := ShortestPath(g, start, target, UnitWeight)
+		if err != nil {
+			return false
+		}
+		if (bp == nil) != (sp == nil) {
+			return false
+		}
+		if bp == nil {
+			return true
+		}
+		return float64(bp.Len()) == sp.Cost && sp.Len() == bp.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: k-shortest emissions to a fixed target are nondecreasing in
+// cost and are pairwise-distinct simple paths.
+func TestKShortestOrderedAndSimple(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(15, 40, seed%1000)
+		rng := rand.New(rand.NewSource(seed + 1))
+		w := map[int64]float64{}
+		g.Edges(func(e *Edge) bool { w[e.ID] = float64(rng.Intn(10) + 1); return true })
+		wf := func(pos int, e *Edge, from, to *Vertex) (float64, bool) { return w[e.ID], true }
+		target := g.Vertex(rng.Int63n(15))
+		it := NewShortest(g, Spec{Start: g.Vertex(0), Target: target, MinLen: 1}, wf, 4)
+		seen := map[string]bool{}
+		prev := 0.0
+		for i := 0; i < 4; i++ {
+			p := it.Next()
+			if p == nil {
+				break
+			}
+			if p.Cost < prev {
+				return false
+			}
+			prev = p.Cost
+			key := p.String()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			vs := map[*Vertex]bool{}
+			for _, v := range p.Verts {
+				if vs[v] {
+					return false
+				}
+				vs[v] = true
+			}
+		}
+		return it.Err() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

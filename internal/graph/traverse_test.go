@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func drain(it PathIterator, max int) []*Path {
+	var out []*Path
+	for p := it.Next(); p != nil; p = it.Next() {
+		out = append(out, p)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// diamond: 1 -> {2,3} -> 4 (two length-2 paths from 1 to 4).
+func diamond() *Graph {
+	g := New("d", true)
+	for i := 1; i <= 4; i++ {
+		g.AddVertex(int64(i), uint64(i))
+	}
+	g.AddEdge(1, 1, 2, 1)
+	g.AddEdge(2, 1, 3, 2)
+	g.AddEdge(3, 2, 4, 3)
+	g.AddEdge(4, 3, 4, 4)
+	return g
+}
+
+func TestDFSEnumeratesChain(t *testing.T) {
+	g := chain(4, true)
+	paths := drain(NewDFS(g, Spec{Start: g.Vertex(1), MinLen: 1}), 0)
+	// 1-2, 1-2-3, 1-2-3-4
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	for i, p := range paths {
+		if p.Len() != i+1 {
+			t.Errorf("path %d has length %d", i, p.Len())
+		}
+		if p.Start().ID != 1 {
+			t.Errorf("path %d start %d", i, p.Start().ID)
+		}
+	}
+	if paths[2].End().ID != 4 {
+		t.Errorf("deepest path ends at %d", paths[2].End().ID)
+	}
+}
+
+func TestBFSOrderIsByLength(t *testing.T) {
+	g := diamond()
+	paths := drain(NewBFS(g, Spec{Start: g.Vertex(1), MinLen: 1, Policy: VisitPerPath}), 0)
+	// Lengths must be nondecreasing and cover both length-2 paths to 4.
+	prev := 0
+	count2to4 := 0
+	for _, p := range paths {
+		if p.Len() < prev {
+			t.Fatalf("BFS emitted decreasing lengths")
+		}
+		prev = p.Len()
+		if p.Len() == 2 && p.End().ID == 4 {
+			count2to4++
+		}
+	}
+	if count2to4 != 2 {
+		t.Errorf("per-path BFS found %d paths 1=>4, want 2", count2to4)
+	}
+}
+
+func TestGlobalPolicyVisitsOnce(t *testing.T) {
+	g := diamond()
+	paths := drain(NewBFS(g, Spec{Start: g.Vertex(1), MinLen: 1}), 0)
+	ends := map[int64]int{}
+	for _, p := range paths {
+		ends[p.End().ID]++
+	}
+	if ends[4] != 1 {
+		t.Errorf("global policy reached 4 %d times, want 1", ends[4])
+	}
+	if len(paths) != 3 { // 1-2, 1-3, 1-?-4
+		t.Errorf("paths = %d, want 3", len(paths))
+	}
+}
+
+func TestMinMaxLen(t *testing.T) {
+	g := chain(6, true)
+	paths := drain(NewDFS(g, Spec{Start: g.Vertex(1), MinLen: 2, MaxLen: 3}), 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	for _, p := range paths {
+		if p.Len() < 2 || p.Len() > 3 {
+			t.Errorf("length %d outside [2,3]", p.Len())
+		}
+	}
+}
+
+func TestZeroLengthPathEmission(t *testing.T) {
+	g := chain(2, true)
+	paths := drain(NewBFS(g, Spec{Start: g.Vertex(1), MinLen: 0}), 0)
+	if len(paths) != 2 || paths[0].Len() != 0 {
+		t.Fatalf("expected trivial path first, got %d paths", len(paths))
+	}
+	if paths[0].Start() != paths[0].End() {
+		t.Error("trivial path endpoints differ")
+	}
+}
+
+func TestTargetRestrictsEmissionNotExploration(t *testing.T) {
+	g := diamond()
+	for _, mk := range []func(*Graph, Spec) PathIterator{NewDFS, NewBFS} {
+		paths := drain(mk(g, Spec{Start: g.Vertex(1), MinLen: 1, Target: g.Vertex(4)}), 0)
+		if len(paths) != 1 || paths[0].End().ID != 4 {
+			t.Errorf("target traversal: %d paths", len(paths))
+		}
+	}
+}
+
+func TestEdgeAndVertexFilters(t *testing.T) {
+	g := diamond()
+	// Block vertex 2: only the 1-3-4 path remains.
+	spec := Spec{
+		Start: g.Vertex(1), MinLen: 1, Policy: VisitPerPath,
+		FilterVertex: func(pos int, v *Vertex) bool { return v.ID != 2 },
+	}
+	paths := drain(NewDFS(g, spec), 0)
+	if len(paths) != 2 { // 1-3 and 1-3-4
+		t.Fatalf("filtered paths = %d", len(paths))
+	}
+	// Edge filter sees correct positions.
+	var positions []int
+	spec = Spec{
+		Start: g.Vertex(1), MinLen: 1, Policy: VisitPerPath,
+		FilterEdge: func(pos int, e *Edge, from, to *Vertex) bool {
+			positions = append(positions, pos)
+			return true
+		},
+	}
+	drain(NewDFS(g, spec), 0)
+	for _, pos := range positions {
+		if pos != 0 && pos != 1 {
+			t.Errorf("bad edge position %d", pos)
+		}
+	}
+}
+
+func TestPrunePartialPaths(t *testing.T) {
+	g := chain(5, true)
+	// Prune any partial path longer than 2 edges.
+	spec := Spec{
+		Start: g.Vertex(1), MinLen: 1,
+		Prune: func(p *Path) bool { return p.Len() <= 2 },
+	}
+	paths := drain(NewDFS(g, spec), 0)
+	if len(paths) != 2 {
+		t.Errorf("pruned enumeration = %d paths", len(paths))
+	}
+}
+
+func TestTriangleCycleClosure(t *testing.T) {
+	g := triangleGraph()
+	spec := Spec{
+		Start: g.Vertex(1), MinLen: 3, MaxLen: 3,
+		Policy: VisitPerPath, AllowCycle: true, Target: g.Vertex(1),
+	}
+	for name, mk := range map[string]func(*Graph, Spec) PathIterator{"dfs": NewDFS, "bfs": NewBFS} {
+		paths := drain(mk(g, spec), 0)
+		if len(paths) != 1 {
+			t.Fatalf("%s: triangle paths = %d, want 1", name, len(paths))
+		}
+		p := paths[0]
+		if p.Len() != 3 || p.Start().ID != 1 || p.End().ID != 1 {
+			t.Errorf("%s: bad triangle %s", name, p)
+		}
+	}
+}
+
+func TestUndirectedTraversalGoesBothWays(t *testing.T) {
+	g := chain(3, false) // undirected chain 1-2-3
+	// From vertex 3 we can walk back to 1.
+	paths := drain(NewBFS(g, Spec{Start: g.Vertex(3), MinLen: 1, Target: g.Vertex(1)}), 0)
+	if len(paths) != 1 || paths[0].Len() != 2 {
+		t.Fatalf("undirected reverse walk failed: %d", len(paths))
+	}
+	// Traversal-order endpoints disagree with storage orientation.
+	p := paths[0]
+	if p.StepStart(0).ID != 3 || p.StepEnd(0).ID != 2 {
+		t.Errorf("traversal-order endpoints wrong: %d -> %d", p.StepStart(0).ID, p.StepEnd(0).ID)
+	}
+}
+
+func TestDirectedEdgesNotReversed(t *testing.T) {
+	g := chain(3, true)
+	paths := drain(NewBFS(g, Spec{Start: g.Vertex(3), MinLen: 1}), 0)
+	if len(paths) != 0 {
+		t.Errorf("directed graph traversed backwards: %d paths", len(paths))
+	}
+}
+
+func TestPathStringFormat(t *testing.T) {
+	g := chain(3, true)
+	paths := drain(NewDFS(g, Spec{Start: g.Vertex(1), MinLen: 2, MaxLen: 2}), 0)
+	if len(paths) != 1 {
+		t.Fatal("missing path")
+	}
+	if got := paths[0].String(); got != "1-[1]->2-[2]->3" {
+		t.Errorf("PathString = %q", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := chain(5, true)
+	if !Reachable(g, g.Vertex(1), g.Vertex(5), 0) {
+		t.Error("1 must reach 5")
+	}
+	if Reachable(g, g.Vertex(5), g.Vertex(1), 0) {
+		t.Error("5 must not reach 1 (directed)")
+	}
+	if Reachable(g, g.Vertex(1), g.Vertex(5), 3) {
+		t.Error("1 must not reach 5 within 3 hops")
+	}
+	if !Reachable(g, g.Vertex(2), g.Vertex(2), 0) {
+		t.Error("vertex must reach itself")
+	}
+	if Reachable(g, nil, g.Vertex(1), 0) {
+		t.Error("nil start must be unreachable")
+	}
+}
+
+func TestLazinessStopsTraversal(t *testing.T) {
+	// A wide star: pulling only one path must not expand everything.
+	g := New("star", true)
+	g.AddVertex(0, 0)
+	for i := int64(1); i <= 1000; i++ {
+		g.AddVertex(i, uint64(i))
+		g.AddEdge(i, 0, i, uint64(i))
+	}
+	touched := 0
+	spec := Spec{
+		Start: g.Vertex(0), MinLen: 1,
+		FilterEdge: func(pos int, e *Edge, from, to *Vertex) bool { touched++; return true },
+	}
+	it := NewBFS(g, spec)
+	if it.Next() == nil {
+		t.Fatal("no path")
+	}
+	if touched >= 1000 {
+		t.Errorf("BFS expanded %d edges for one pull; not lazy", touched)
+	}
+}
+
+// randomGraph builds a deterministic pseudo-random directed graph.
+func randomGraph(n, m int, seed int64) *Graph {
+	g := New("rand", true)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g.AddVertex(int64(i), uint64(i+1))
+	}
+	for e := 0; e < m; e++ {
+		from := rng.Int63n(int64(n))
+		to := rng.Int63n(int64(n))
+		g.AddEdge(int64(e), from, to, uint64(e+1))
+	}
+	return g
+}
+
+// Property: every emitted path is simple (no interior vertex repeats),
+// respects the length bounds, starts at Start, and its edges connect
+// consecutive vertexes.
+func TestTraversalEmitsWellFormedSimplePaths(t *testing.T) {
+	prop := func(seed int64, perPath bool) bool {
+		g := randomGraph(20, 40, seed%1000)
+		spec := Spec{Start: g.Vertex(0), MinLen: 1, MaxLen: 4}
+		if perPath {
+			spec.Policy = VisitPerPath
+		}
+		for _, mk := range []func(*Graph, Spec) PathIterator{NewDFS, NewBFS} {
+			paths := drain(mk(g, spec), 500)
+			for _, p := range paths {
+				if p.Len() < 1 || p.Len() > 4 || p.Start().ID != 0 {
+					return false
+				}
+				if len(p.Verts) != len(p.Edges)+1 {
+					return false
+				}
+				seen := map[*Vertex]bool{}
+				for _, v := range p.Verts {
+					if seen[v] {
+						return false
+					}
+					seen[v] = true
+				}
+				for i, e := range p.Edges {
+					a, b := p.Verts[i], p.Verts[i+1]
+					if !(e.From == a && e.To == b) && !(e.From == b && e.To == a) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with VisitGlobal, DFS and BFS reach exactly the same vertex set
+// (the reachable set), regardless of emission order.
+func TestGlobalDFSandBFSReachSameSet(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(25, 50, seed%1000)
+		collect := func(mk func(*Graph, Spec) PathIterator) map[int64]bool {
+			set := map[int64]bool{}
+			for _, p := range drain(mk(g, Spec{Start: g.Vertex(0), MinLen: 1}), 0) {
+				set[p.End().ID] = true
+			}
+			return set
+		}
+		d, b := collect(NewDFS), collect(NewBFS)
+		if len(d) != len(b) {
+			return false
+		}
+		for k := range d {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"grfusion/internal/types"
+)
+
+// Client is a synchronous connection to a GRFusion server. It is safe for
+// concurrent use; requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	dec.UseNumber()
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: dec}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Result is a decoded server response.
+type Result struct {
+	Columns  []string
+	Rows     []types.Row
+	Affected int
+}
+
+// Exec submits one statement and waits for its response. Server-side
+// errors come back as Go errors.
+func (c *Client) Exec(query string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Query: query}); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("receive: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("server: %s", resp.Error)
+	}
+	out := &Result{Columns: resp.Columns, Affected: resp.Affected}
+	for _, wire := range resp.Rows {
+		row := make(types.Row, len(wire))
+		for i, v := range wire {
+			row[i] = decodeValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func decodeValue(v any) types.Value {
+	switch x := v.(type) {
+	case nil:
+		return types.Null()
+	case bool:
+		return types.NewBool(x)
+	case string:
+		return types.NewString(x)
+	case json.Number:
+		if !strings.ContainsAny(x.String(), ".eE") {
+			if i, err := x.Int64(); err == nil {
+				return types.NewInt(i)
+			}
+		}
+		if f, err := x.Float64(); err == nil {
+			return types.NewFloat(f)
+		}
+		return types.NewString(x.String())
+	case float64: // reachable only without UseNumber
+		return types.NewFloat(x)
+	default:
+		return types.NewString(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,189 @@
+// Package server exposes a GRFusion engine over TCP, mirroring the
+// client/server deployment of the paper's host system (VoltDB). The wire
+// protocol is newline-delimited JSON: one request object per line, one
+// response object per line. The engine serializes statement execution
+// internally, so any number of connections may be served concurrently.
+//
+// Request:  {"query": "SELECT ..."}
+// Response: {"columns": [...], "rows": [[...], ...], "affected": 0}
+//
+//	or {"error": "..."}
+//
+// Values are encoded as their natural JSON types; BIGINTs survive
+// round-trips via json.Number. Paths are rendered as their PathString.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"grfusion/internal/core"
+	"grfusion/internal/types"
+)
+
+// Request is one statement submission.
+type Request struct {
+	Query string `json:"query"`
+}
+
+// Response is the outcome of one statement.
+type Response struct {
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng *core.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server around an engine.
+func New(eng *core.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:21212") and serves until
+// Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown closes the listener and all connections and waits for handlers
+// to drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.execute(&req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req *Request) Response {
+	res, err := s.eng.Execute(req.Query)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	out := Response{Columns: res.Columns, Affected: res.Affected}
+	for _, row := range res.Rows {
+		wire := make([]any, len(row))
+		for i, v := range row {
+			wire[i] = encodeValue(v)
+		}
+		out.Rows = append(out.Rows, wire)
+	}
+	return out
+}
+
+func encodeValue(v types.Value) any {
+	switch v.Kind {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.B
+	case types.KindInt:
+		return json.Number(v.String())
+	case types.KindFloat:
+		return v.F
+	default:
+		// Strings, and graph values rendered as text.
+		return v.String()
+	}
+}

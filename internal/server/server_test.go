@@ -1,0 +1,174 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"grfusion/internal/core"
+	"grfusion/internal/types"
+)
+
+// startServer brings up a server on an ephemeral port and returns a
+// connected client.
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	eng := core.New(core.Options{})
+	srv := New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestRoundTripDDLDMLQuery(t *testing.T) {
+	_, c := startServer(t)
+	for _, q := range []string{
+		`CREATE TABLE T (a BIGINT PRIMARY KEY, s VARCHAR, f DOUBLE, b BOOLEAN)`,
+		`INSERT INTO T VALUES (1, 'x', 1.5, true), (2, NULL, 2.5, false)`,
+	} {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	res, err := c.Exec(`SELECT a, s, f, b FROM T ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Columns) != 4 {
+		t.Fatalf("shape: %+v", res)
+	}
+	r0 := res.Rows[0]
+	if r0[0].Kind != types.KindInt || r0[0].I != 1 {
+		t.Errorf("int round trip: %v", r0[0])
+	}
+	if r0[1].S != "x" || r0[2].F != 1.5 || !r0[3].B {
+		t.Errorf("row: %v", r0)
+	}
+	if !res.Rows[1][1].IsNull() {
+		t.Errorf("null round trip: %v", res.Rows[1][1])
+	}
+}
+
+func TestGraphQueryOverTheWire(t *testing.T) {
+	_, c := startServer(t)
+	setup := []string{
+		`CREATE TABLE V (vid BIGINT PRIMARY KEY)`,
+		`CREATE TABLE E (eid BIGINT PRIMARY KEY, a BIGINT, b BIGINT)`,
+		`INSERT INTO V VALUES (1),(2),(3)`,
+		`INSERT INTO E VALUES (1,1,2),(2,2,3)`,
+		`CREATE DIRECTED GRAPH VIEW G VERTEXES(ID=vid) FROM V EDGES(ID=eid, FROM=a, TO=b) FROM E`,
+	}
+	for _, q := range setup {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	res, err := c.Exec(`SELECT PS.PathString FROM G.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "1-[1]->2-[2]->3" {
+		t.Fatalf("path over the wire: %+v", res.Rows)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.Exec(`SELECT * FROM Ghost`)
+	if err == nil || !strings.Contains(err.Error(), "Ghost") {
+		t.Fatalf("error lost: %v", err)
+	}
+	// The connection stays usable after an error.
+	if _, err := c.Exec(`CREATE TABLE T (a BIGINT)`); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, c0 := startServer(t)
+	if _, err := c0.Exec(`CREATE TABLE T (a BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				q := `INSERT INTO T VALUES (` + types.NewInt(int64(base*1000+j)).String() + `)`
+				if _, err := c.Exec(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := c0.Exec(`SELECT COUNT(*) FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != clients*perClient {
+		t.Fatalf("rows: %v", res.Rows[0][0])
+	}
+}
+
+func TestShutdownClosesConnections(t *testing.T) {
+	srv, c := startServer(t)
+	srv.Shutdown()
+	if _, err := c.Exec(`SELECT 1 FROM T`); err == nil {
+		t.Fatal("exec succeeded after shutdown")
+	}
+	// Serve after Shutdown refuses.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); err == nil {
+		t.Fatal("Serve after Shutdown accepted")
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "bad request") {
+		t.Fatalf("response: %s", buf[:n])
+	}
+}

@@ -1,0 +1,223 @@
+package sql
+
+import (
+	"grfusion/internal/expr"
+	"grfusion/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name string
+	Type types.Kind
+	PK   bool
+}
+
+// CreateTable is CREATE TABLE name (col type [PRIMARY KEY], ...,
+// [PRIMARY KEY (cols)]).
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+	// PK lists the primary-key column names (possibly from a table-level
+	// PRIMARY KEY clause); empty for keyless tables.
+	PK []string
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is CREATE [ORDERED] INDEX name ON table (cols). The default
+// index is a hash index; ORDERED builds a sorted index for range scans.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Cols    []string
+	Ordered bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// TruncateTable is TRUNCATE TABLE name.
+type TruncateTable struct{ Name string }
+
+func (*TruncateTable) stmt() {}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string // empty means schema order
+	Rows  [][]expr.Expr
+}
+
+func (*Insert) stmt() {}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col string
+	E   expr.Expr
+}
+
+// Update is UPDATE table SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where expr.Expr
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where expr.Expr
+}
+
+func (*Delete) stmt() {}
+
+// Member selects which face of a graph view a FROM item exposes.
+type Member uint8
+
+// Graph-view members (§4).
+const (
+	MemberNone Member = iota // a plain table
+	MemberVertexes
+	MemberEdges
+	MemberPaths
+)
+
+// HintKind selects a physical traversal operator (§6.3).
+type HintKind uint8
+
+// Traversal hints.
+const (
+	HintNone HintKind = iota
+	HintDFS
+	HintBFS
+	HintShortestPath
+)
+
+// TraversalHint is HINT(...) attached to a PATHS FROM item. Several hints
+// may be combined with commas: HINT(DFS, ALLPATHS).
+type TraversalHint struct {
+	Kind       HintKind
+	WeightAttr string // for HintShortestPath
+	// AllPaths forces per-path visited semantics (enumerate all simple
+	// paths) instead of the default visit-once exploration.
+	AllPaths bool
+}
+
+// FromItem is one entry of a FROM clause: a table, or a graph view member,
+// with an optional alias and traversal hint.
+type FromItem struct {
+	Name   string
+	Member Member
+	Alias  string
+	Hint   TraversalHint
+}
+
+// AliasOrName returns the range-variable name the item binds.
+func (f FromItem) AliasOrName() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Name
+}
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// star (possibly qualified: t.*).
+type SelectItem struct {
+	Expr     expr.Expr
+	Alias    string
+	Star     bool
+	StarQual string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Select is a SELECT statement, possibly cross-model.
+type Select struct {
+	Distinct bool
+	// Top is the TOP n prefix (-1 if absent). TOP and LIMIT are synonyms;
+	// if both are present the smaller wins.
+	Top   int
+	Items []SelectItem
+	From  []FromItem
+	Where expr.Expr
+	// GroupBy lists grouping expressions; nil with aggregates in Items
+	// means one global group.
+	GroupBy []expr.Expr
+	Having  expr.Expr
+	OrderBy []OrderItem
+	Limit   int // -1 if absent
+	Offset  int // 0 if absent
+}
+
+func (*Select) stmt() {}
+
+// NameMap is one `exposed = source` pair in a graph view clause.
+type NameMap struct {
+	Name   string
+	Source string
+}
+
+// CreateGraphView is the paper's CREATE GRAPH VIEW statement (Listing 1).
+type CreateGraphView struct {
+	Name         string
+	Directed     bool
+	VertexAttrs  []NameMap
+	VertexSource string
+	EdgeAttrs    []NameMap
+	EdgeSource   string
+}
+
+func (*CreateGraphView) stmt() {}
+
+// CreateMatView is CREATE MATERIALIZED VIEW name AS SELECT items FROM
+// base [WHERE pred] — a single-table projection/selection, materialized
+// and incrementally maintained, usable as a graph-view relational source
+// (§2, §3.3.2 of the paper).
+type CreateMatView struct {
+	Name  string
+	Items []SelectItem
+	Base  string
+	Where expr.Expr
+}
+
+func (*CreateMatView) stmt() {}
+
+// DropMatView is DROP MATERIALIZED VIEW name.
+type DropMatView struct{ Name string }
+
+func (*DropMatView) stmt() {}
+
+// DropGraphView is DROP GRAPH VIEW name.
+type DropGraphView struct{ Name string }
+
+func (*DropGraphView) stmt() {}
+
+// Explain is EXPLAIN <select>: the engine returns the physical plan as
+// one row of text per plan line.
+type Explain struct {
+	Query *Select
+}
+
+func (*Explain) stmt() {}
+
+// Show is SHOW TABLES / SHOW GRAPH VIEWS, a small introspection aid for
+// the interactive shell.
+type Show struct {
+	// What is "TABLES", "GRAPH VIEWS" or "MATERIALIZED VIEWS".
+	What string
+}
+
+func (*Show) stmt() {}

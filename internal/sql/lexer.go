@@ -1,0 +1,164 @@
+// Package sql implements the GRFusion SQL dialect: a lexer, a
+// recursive-descent parser, and the statement AST. The dialect is the SQL
+// subset the paper exercises, extended with the paper's graph constructs:
+// CREATE [UNDIRECTED|DIRECTED] GRAPH VIEW (§3.1), the GV.PATHS /
+// GV.VERTEXES / GV.EDGES FROM-clause members and path subscripts (§4), and
+// traversal hints (§6.3).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexed tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // operators and punctuation
+)
+
+// Token is one lexical token with its position for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their spelling
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords lists reserved words, upper-cased.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "TOP": true, "DISTINCT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "LIKE": true, "BETWEEN": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "ORDERED": true,
+	"DROP": true, "TRUNCATE": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"UNDIRECTED": true, "DIRECTED": true, "GRAPH": true, "VIEW": true,
+	"VERTEXES": true, "EDGES": true, "PATHS": true,
+	"PRIMARY": true, "KEY": true, "ON": true,
+	"HINT": true, "JOIN": true, "INNER": true,
+	"TRUE": true, "FALSE": true,
+	"SHOW": true, "TABLES": true, "VIEWS": true,
+	"EXPLAIN": true, "MATERIALIZED": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			if up := strings.ToUpper(word); keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			// A '.' followed by a digit continues a float; '..' is the
+			// range operator and terminates the number.
+			if i+1 < n && input[i] == '.' && input[i+1] != '.' && input[i+1] >= '0' && input[i+1] <= '9' {
+				i++
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+				toks = append(toks, Token{Kind: TokFloat, Text: input[start:i], Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokInt, Text: input[start:i], Pos: start})
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "..":
+				toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';', '[', ']', '?':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"sort"
+
+	"grfusion/internal/types"
+)
+
+// Index is a secondary access path over a table. A hash index supports
+// point lookups; an ordered index additionally supports range scans.
+// Indexes are non-unique: one key may map to many RowIDs.
+type Index struct {
+	name    string
+	cols    []int
+	ordered bool
+
+	hash map[string][]RowID
+
+	// Ordered representation: entries sorted by key (types.Compare,
+	// column-major), ties broken by RowID for determinism.
+	entries []indexEntry
+}
+
+type indexEntry struct {
+	key types.Row
+	id  RowID
+}
+
+func newIndex(name string, cols []int, ordered bool) *Index {
+	ix := &Index{name: name, cols: append([]int(nil), cols...), ordered: ordered}
+	if !ordered {
+		ix.hash = make(map[string][]RowID)
+	}
+	return ix
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Columns returns the indexed column positions.
+func (ix *Index) Columns() []int { return ix.cols }
+
+// Ordered reports whether the index supports range scans.
+func (ix *Index) Ordered() bool { return ix.ordered }
+
+func (ix *Index) keyOf(row types.Row) types.Row {
+	key := make(types.Row, len(ix.cols))
+	for i, c := range ix.cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+func compareKeys(a, b types.Row) int {
+	for i := range a {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (ix *Index) insert(row types.Row, id RowID) {
+	key := ix.keyOf(row)
+	if !ix.ordered {
+		ks := types.KeyOf(row, ix.cols)
+		ix.hash[ks] = append(ix.hash[ks], id)
+		return
+	}
+	e := indexEntry{key: key, id: id}
+	pos := sort.Search(len(ix.entries), func(i int) bool {
+		c := compareKeys(ix.entries[i].key, key)
+		return c > 0 || (c == 0 && ix.entries[i].id >= id)
+	})
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[pos+1:], ix.entries[pos:])
+	ix.entries[pos] = e
+}
+
+func (ix *Index) remove(row types.Row, id RowID) {
+	if !ix.ordered {
+		ks := types.KeyOf(row, ix.cols)
+		ids := ix.hash[ks]
+		for i, x := range ids {
+			if x == id {
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(ix.hash, ks)
+		} else {
+			ix.hash[ks] = ids
+		}
+		return
+	}
+	key := ix.keyOf(row)
+	pos := sort.Search(len(ix.entries), func(i int) bool {
+		c := compareKeys(ix.entries[i].key, key)
+		return c > 0 || (c == 0 && ix.entries[i].id >= id)
+	})
+	if pos < len(ix.entries) && ix.entries[pos].id == id && compareKeys(ix.entries[pos].key, key) == 0 {
+		ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+	}
+}
+
+func (ix *Index) clear() {
+	if !ix.ordered {
+		ix.hash = make(map[string][]RowID)
+	}
+	ix.entries = ix.entries[:0]
+}
+
+// Lookup returns the RowIDs whose indexed columns equal key, in
+// deterministic order. The returned slice must not be mutated.
+func (ix *Index) Lookup(key types.Row) []RowID {
+	if !ix.ordered {
+		idx := make([]int, len(key))
+		for i := range key {
+			idx[i] = i
+		}
+		return ix.hash[types.KeyOf(key, idx)]
+	}
+	var out []RowID
+	ix.rangeScan(key, key, true, true, func(id RowID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Bound describes one end of a range scan.
+type Bound struct {
+	Key       types.Row // nil means unbounded
+	Inclusive bool
+}
+
+// Range calls fn for every RowID whose key lies within [lo, hi] subject to
+// inclusivity, in ascending key order, until fn returns false. Only
+// single-column ranges are supported for multi-column indexes' leading
+// column when lo/hi have length 1.
+func (ix *Index) Range(lo, hi Bound, fn func(id RowID) bool) {
+	if !ix.ordered {
+		panic("storage: Range on hash index " + ix.name)
+	}
+	ix.rangeScan(lo.Key, hi.Key, lo.Inclusive, hi.Inclusive, fn)
+}
+
+func (ix *Index) rangeScan(lo, hi types.Row, loInc, hiInc bool, fn func(id RowID) bool) {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := comparePrefix(ix.entries[i].key, lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	for i := start; i < len(ix.entries); i++ {
+		if hi != nil {
+			c := comparePrefix(ix.entries[i].key, hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				return
+			}
+		}
+		if !fn(ix.entries[i].id) {
+			return
+		}
+	}
+}
+
+// comparePrefix compares only the first len(b) columns of a against b,
+// allowing range scans on a prefix of a multi-column index.
+func comparePrefix(a, b types.Row) int {
+	n := len(b)
+	if len(a) < n {
+		n = len(a)
+	}
+	for i := 0; i < n; i++ {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Len returns the number of entries in the index.
+func (ix *Index) Len() int {
+	if !ix.ordered {
+		n := 0
+		for _, ids := range ix.hash {
+			n += len(ids)
+		}
+		return n
+	}
+	return len(ix.entries)
+}

@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grfusion/internal/types"
+)
+
+func indexedTable(t *testing.T, ordered bool) (*Table, *Index) {
+	t.Helper()
+	tb := usersTable(t)
+	ix, err := tb.CreateIndex("ix_age", []int{2}, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, ix
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	tb, ix := indexedTable(t, false)
+	a := mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(30))
+	b := mustInsert(t, tb, types.NewInt(2), types.NewString("b"), types.NewInt(30))
+	mustInsert(t, tb, types.NewInt(3), types.NewString("c"), types.NewInt(40))
+
+	got := ix.Lookup(types.Row{types.NewInt(30)})
+	if len(got) != 2 {
+		t.Fatalf("lookup(30) = %v", got)
+	}
+	seen := map[RowID]bool{got[0]: true, got[1]: true}
+	if !seen[a] || !seen[b] {
+		t.Errorf("lookup(30) = %v, want {%d,%d}", got, a, b)
+	}
+	if got := ix.Lookup(types.Row{types.NewInt(99)}); len(got) != 0 {
+		t.Errorf("lookup(99) = %v", got)
+	}
+}
+
+func TestHashIndexMaintainedByUpdateDelete(t *testing.T) {
+	tb, ix := indexedTable(t, false)
+	a := mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(30))
+	if err := tb.Update(a, types.Row{types.NewInt(1), types.NewString("a"), types.NewInt(31)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup(types.Row{types.NewInt(30)})) != 0 {
+		t.Error("stale index entry after update")
+	}
+	if len(ix.Lookup(types.Row{types.NewInt(31)})) != 1 {
+		t.Error("missing index entry after update")
+	}
+	if err := tb.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Error("stale index entry after delete")
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	tb, ix := indexedTable(t, true)
+	for i := int64(1); i <= 10; i++ {
+		mustInsert(t, tb, types.NewInt(i), types.NewString("x"), types.NewInt(i*10))
+	}
+	collect := func(lo, hi Bound) []int64 {
+		var out []int64
+		ix.Range(lo, hi, func(id RowID) bool {
+			row, _ := tb.Get(id)
+			out = append(out, row[2].I)
+			return true
+		})
+		return out
+	}
+	got := collect(Bound{Key: types.Row{types.NewInt(30)}, Inclusive: true},
+		Bound{Key: types.Row{types.NewInt(50)}, Inclusive: true})
+	want := []int64{30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("range [30,50] = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range [30,50] = %v, want %v", got, want)
+		}
+	}
+	got = collect(Bound{Key: types.Row{types.NewInt(30)}, Inclusive: false},
+		Bound{Key: types.Row{types.NewInt(50)}, Inclusive: false})
+	if len(got) != 1 || got[0] != 40 {
+		t.Errorf("range (30,50) = %v", got)
+	}
+	got = collect(Bound{}, Bound{Key: types.Row{types.NewInt(20)}, Inclusive: true})
+	if len(got) != 2 {
+		t.Errorf("range (-inf,20] = %v", got)
+	}
+	got = collect(Bound{Key: types.Row{types.NewInt(90)}, Inclusive: true}, Bound{})
+	if len(got) != 2 {
+		t.Errorf("range [90,inf) = %v", got)
+	}
+}
+
+func TestOrderedIndexPointLookupAndDuplicates(t *testing.T) {
+	tb, ix := indexedTable(t, true)
+	mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(5))
+	mustInsert(t, tb, types.NewInt(2), types.NewString("b"), types.NewInt(5))
+	if got := ix.Lookup(types.Row{types.NewInt(5)}); len(got) != 2 {
+		t.Errorf("dup lookup = %v", got)
+	}
+}
+
+func TestFindIndexOn(t *testing.T) {
+	tb := usersTable(t)
+	if _, ok := tb.FindIndexOn([]int{2}, false); ok {
+		t.Error("found index on unindexed table")
+	}
+	if _, err := tb.CreateIndex("ord", []int{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Ordered index serves point lookups as a fallback.
+	ix, ok := tb.FindIndexOn([]int{2}, false)
+	if !ok || !ix.Ordered() {
+		t.Error("ordered index not usable for point lookup")
+	}
+	if _, err := tb.CreateIndex("hsh", []int{2}, false); err != nil {
+		t.Fatal(err)
+	}
+	ix, ok = tb.FindIndexOn([]int{2}, false)
+	if !ok || ix.Ordered() {
+		t.Error("hash index must be preferred for point lookups")
+	}
+	ix, ok = tb.FindIndexOn([]int{2}, true)
+	if !ok || !ix.Ordered() {
+		t.Error("ordered request must return ordered index")
+	}
+	if _, ok := tb.FindIndexOn([]int{0, 2}, false); ok {
+		t.Error("column-set mismatch matched")
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	tb := usersTable(t)
+	if _, err := tb.CreateIndex("a", []int{9}, false); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := tb.CreateIndex("a", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateIndex("A", []int{1}, false); err == nil {
+		t.Error("duplicate index name accepted (case-insensitive)")
+	}
+	if !tb.DropIndex("a") {
+		t.Error("drop existing index failed")
+	}
+	if tb.DropIndex("a") {
+		t.Error("drop missing index succeeded")
+	}
+}
+
+func TestIndexBuildsOverExistingRows(t *testing.T) {
+	tb := usersTable(t)
+	mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(30))
+	ix, err := tb.CreateIndex("late", []int{2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup(types.Row{types.NewInt(30)})) != 1 {
+		t.Error("late-built index missed existing row")
+	}
+}
+
+// Property: an ordered index enumerates exactly the live rows, in
+// nondecreasing key order, under random insert/delete sequences.
+func TestOrderedIndexSortedInvariant(t *testing.T) {
+	prop := func(keys []int16, dels []uint8) bool {
+		tb := newUsersTable()
+		ix, err := tb.CreateIndex("ord", []int{2}, true)
+		if err != nil {
+			return false
+		}
+		var ids []RowID
+		for i, k := range keys {
+			id, err := tb.Insert(types.Row{types.NewInt(int64(i)), types.NewString("x"), types.NewInt(int64(k))})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for _, d := range dels {
+			if len(ids) == 0 {
+				break
+			}
+			i := int(d) % len(ids)
+			if err := tb.Delete(ids[i]); err != nil {
+				return false
+			}
+			ids = append(ids[:i], ids[i+1:]...)
+		}
+		if ix.Len() != tb.Len() {
+			return false
+		}
+		prev := int64(-1 << 30)
+		okOrder := true
+		ix.Range(Bound{}, Bound{}, func(id RowID) bool {
+			row, ok := tb.Get(id)
+			if !ok {
+				okOrder = false
+				return false
+			}
+			if row[2].I < prev {
+				okOrder = false
+				return false
+			}
+			prev = row[2].I
+			return true
+		})
+		return okOrder
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

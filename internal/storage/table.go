@@ -1,0 +1,378 @@
+// Package storage implements the in-memory row store underneath the engine.
+//
+// Tables are slotted: every tuple lives in a stable slot addressed by a
+// RowID that never changes for the lifetime of the tuple. RowIDs are the
+// "main-memory tuple pointers" of the paper (§3.2) — a graph view's
+// vertexes and edges hold RowIDs into their relational sources and
+// dereference them in O(1), and the relational side can navigate back into
+// the graph through the vertex hash map. Slots freed by deletion are
+// recycled through a free list.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"grfusion/internal/types"
+)
+
+// RowID addresses one tuple slot in a table. The zero RowID is invalid;
+// slot numbering starts at 1 so that RowID(0) can mean "no tuple".
+type RowID uint64
+
+// InvalidRowID is the zero, never-valid row id.
+const InvalidRowID RowID = 0
+
+// Table is an in-memory relation with optional primary key and secondary
+// indexes. Tables are not internally synchronized: the engine serializes
+// all access (VoltDB's single-threaded partition execution model).
+type Table struct {
+	name   string
+	schema *types.Schema
+
+	// rows[i] is the tuple in slot i+1, or nil if the slot is free.
+	rows []types.Row
+	free []RowID
+	live int
+
+	pkCols []int // column indexes of the primary key; empty if none
+	pk     map[string]RowID
+
+	indexes map[string]*Index
+
+	// version counts mutations; cursors use it to detect invalidation.
+	version atomic.Uint64
+}
+
+// NewTable creates an empty table. pkCols lists the positions of the
+// primary-key columns within the schema (may be empty for no key).
+func NewTable(name string, schema *types.Schema, pkCols []int) (*Table, error) {
+	for _, c := range pkCols {
+		if c < 0 || c >= schema.Len() {
+			return nil, fmt.Errorf("table %s: primary key column index %d out of range", name, c)
+		}
+	}
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		pkCols:  append([]int(nil), pkCols...),
+		indexes: make(map[string]*Index),
+	}
+	if len(pkCols) > 0 {
+		t.pk = make(map[string]RowID)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. Callers must not mutate it.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// PrimaryKeyColumns returns the primary-key column positions (nil if none).
+func (t *Table) PrimaryKeyColumns() []int { return t.pkCols }
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int { return t.live }
+
+// Version returns the mutation counter.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+func (t *Table) checkRow(row types.Row) error {
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
+			t.name, len(row), t.schema.Len())
+	}
+	for i, v := range row {
+		col := t.schema.Columns[i]
+		if v.IsNull() || v.Kind == col.Type {
+			continue
+		}
+		cv, err := types.CoerceTo(v, col.Type)
+		if err != nil {
+			return fmt.Errorf("table %s column %s: %v", t.name, col.Name, err)
+		}
+		row[i] = cv
+	}
+	return nil
+}
+
+// Insert adds a tuple and returns its stable RowID. It fails on primary-key
+// violation without modifying the table.
+func (t *Table) Insert(row types.Row) (RowID, error) {
+	if err := t.checkRow(row); err != nil {
+		return InvalidRowID, err
+	}
+	var pkKey string
+	if t.pk != nil {
+		pkKey = types.KeyOf(row, t.pkCols)
+		if _, dup := t.pk[pkKey]; dup {
+			return InvalidRowID, fmt.Errorf("table %s: duplicate primary key %s",
+				t.name, describeKey(row, t.pkCols))
+		}
+	}
+	var id RowID
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[id-1] = row
+	} else {
+		t.rows = append(t.rows, row)
+		id = RowID(len(t.rows))
+	}
+	if t.pk != nil {
+		t.pk[pkKey] = id
+	}
+	for _, ix := range t.indexes {
+		ix.insert(row, id)
+	}
+	t.live++
+	t.version.Add(1)
+	return id, nil
+}
+
+// Get returns the tuple in the given slot, or false if the slot is free or
+// out of range. The returned row must not be mutated by callers.
+func (t *Table) Get(id RowID) (types.Row, bool) {
+	if id == InvalidRowID || int(id) > len(t.rows) {
+		return nil, false
+	}
+	r := t.rows[id-1]
+	return r, r != nil
+}
+
+// RowValues implements the tuple-source interface used by the expression
+// evaluator to dereference tuple pointers held by graph views.
+func (t *Table) RowValues(id uint64) (types.Row, bool) { return t.Get(RowID(id)) }
+
+// LookupPK returns the RowID of the tuple with the given primary-key
+// values, or InvalidRowID if absent or the table has no primary key.
+func (t *Table) LookupPK(key types.Row) RowID {
+	if t.pk == nil || len(key) != len(t.pkCols) {
+		return InvalidRowID
+	}
+	idx := make([]int, len(key))
+	for i := range key {
+		idx[i] = i
+	}
+	id, ok := t.pk[types.KeyOf(key, idx)]
+	if !ok {
+		return InvalidRowID
+	}
+	return id
+}
+
+// Update replaces the tuple in the given slot, maintaining the primary key
+// and all secondary indexes. It fails if the new key collides with another
+// tuple's.
+func (t *Table) Update(id RowID, row types.Row) error {
+	old, ok := t.Get(id)
+	if !ok {
+		return fmt.Errorf("table %s: update of dead row id %d", t.name, id)
+	}
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	if t.pk != nil {
+		oldKey := types.KeyOf(old, t.pkCols)
+		newKey := types.KeyOf(row, t.pkCols)
+		if oldKey != newKey {
+			if _, dup := t.pk[newKey]; dup {
+				return fmt.Errorf("table %s: duplicate primary key %s",
+					t.name, describeKey(row, t.pkCols))
+			}
+			delete(t.pk, oldKey)
+			t.pk[newKey] = id
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old, id)
+	}
+	t.rows[id-1] = row
+	for _, ix := range t.indexes {
+		ix.insert(row, id)
+	}
+	t.version.Add(1)
+	return nil
+}
+
+// Delete removes the tuple in the given slot and recycles it.
+func (t *Table) Delete(id RowID) error {
+	old, ok := t.Get(id)
+	if !ok {
+		return fmt.Errorf("table %s: delete of dead row id %d", t.name, id)
+	}
+	if t.pk != nil {
+		delete(t.pk, types.KeyOf(old, t.pkCols))
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old, id)
+	}
+	t.rows[id-1] = nil
+	t.free = append(t.free, id)
+	t.live--
+	t.version.Add(1)
+	return nil
+}
+
+// Scan calls fn for every live tuple in slot order until fn returns false.
+// fn must not mutate the table.
+func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RowID(i+1), r) {
+			return
+		}
+	}
+}
+
+// Truncate removes every tuple.
+func (t *Table) Truncate() {
+	t.rows = t.rows[:0]
+	t.free = t.free[:0]
+	t.live = 0
+	if t.pk != nil {
+		t.pk = make(map[string]RowID)
+	}
+	for _, ix := range t.indexes {
+		ix.clear()
+	}
+	t.version.Add(1)
+}
+
+// ApproxBytes estimates the resident size of the table's tuples, used by
+// the memory-accounting experiments (Table 3 in DESIGN.md).
+func (t *Table) ApproxBytes() int64 {
+	var total int64
+	for _, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		total += RowApproxBytes(r)
+	}
+	return total
+}
+
+// RowApproxBytes estimates the resident size of one tuple.
+func RowApproxBytes(r types.Row) int64 {
+	const valueHeader = 48 // sizeof(types.Value) rounded up
+	total := int64(len(r)) * valueHeader
+	for _, v := range r {
+		if v.Kind == types.KindString {
+			total += int64(len(v.S))
+		}
+	}
+	return total
+}
+
+func describeKey(row types.Row, cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = row[c].String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CreateIndex builds a secondary index named name over the given column
+// positions. ordered selects a sorted index supporting range scans;
+// otherwise a hash index is built. Building scans the current contents.
+func (t *Table) CreateIndex(name string, cols []int, ordered bool) (*Index, error) {
+	lname := strings.ToLower(name)
+	if _, dup := t.indexes[lname]; dup {
+		return nil, fmt.Errorf("table %s: index %s already exists", t.name, name)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.schema.Len() {
+			return nil, fmt.Errorf("table %s: index column %d out of range", t.name, c)
+		}
+	}
+	ix := newIndex(name, cols, ordered)
+	t.Scan(func(id RowID, row types.Row) bool {
+		ix.insert(row, id)
+		return true
+	})
+	t.indexes[lname] = ix
+	return ix, nil
+}
+
+// DropIndex removes the named index, reporting whether it existed.
+func (t *Table) DropIndex(name string) bool {
+	lname := strings.ToLower(name)
+	_, ok := t.indexes[lname]
+	delete(t.indexes, lname)
+	return ok
+}
+
+// IndexInfo describes one secondary index for catalog introspection and
+// snapshots.
+type IndexInfo struct {
+	Name    string
+	Cols    []int
+	Ordered bool
+}
+
+// Indexes lists the table's secondary indexes sorted by name.
+func (t *Table) Indexes() []IndexInfo {
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]IndexInfo, 0, len(names))
+	for _, n := range names {
+		ix := t.indexes[n]
+		out = append(out, IndexInfo{Name: ix.name, Cols: append([]int(nil), ix.cols...), Ordered: ix.ordered})
+	}
+	return out
+}
+
+// Index returns the named index, if present.
+func (t *Table) Index(name string) (*Index, bool) {
+	ix, ok := t.indexes[strings.ToLower(name)]
+	return ix, ok
+}
+
+// FindIndexOn returns an index whose leading columns are exactly cols, and
+// whether it supports range scans. Hash indexes are preferred for point
+// lookups (ordered=false request); ordered indexes for range requests.
+func (t *Table) FindIndexOn(cols []int, needOrdered bool) (*Index, bool) {
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic choice
+	var fallback *Index
+	for _, n := range names {
+		ix := t.indexes[n]
+		if !sameCols(ix.cols, cols) {
+			continue
+		}
+		if ix.ordered == needOrdered {
+			return ix, true
+		}
+		fallback = ix
+	}
+	if fallback != nil && !needOrdered {
+		// A hash lookup was requested but only an ordered index exists;
+		// an ordered index can serve point lookups too.
+		return fallback, true
+	}
+	return nil, false
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation (or of the extended
+// Vertex/Edge/Path tuple types of §5.2).
+type Column struct {
+	// Qualifier is the table name or range-variable alias the column is
+	// visible under in a query pipeline; empty for anonymous columns.
+	Qualifier string
+	// Name is the attribute name.
+	Name string
+	// Type is the declared kind of the column's values.
+	Type Kind
+}
+
+// QualifiedName renders the column as qualifier.name.
+func (c Column) QualifiedName() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing the tuples an operator
+// produces. Column-name resolution is case-insensitive, as in VoltDB.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from the given columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// WithQualifier returns a copy of s with every column requalified, used
+// when a table is given a range-variable alias in a FROM clause.
+func (s *Schema) WithQualifier(q string) *Schema {
+	out := &Schema{Columns: make([]Column, len(s.Columns))}
+	for i, c := range s.Columns {
+		c.Qualifier = q
+		out.Columns[i] = c
+	}
+	return out
+}
+
+// Concat returns the schema of the concatenation of tuples of s then t
+// (the output of a join).
+func (s *Schema) Concat(t *Schema) *Schema {
+	out := &Schema{Columns: make([]Column, 0, len(s.Columns)+len(t.Columns))}
+	out.Columns = append(out.Columns, s.Columns...)
+	out.Columns = append(out.Columns, t.Columns...)
+	return out
+}
+
+// Resolve finds the index of the column matching the (possibly empty)
+// qualifier and name. It returns an error if the name is unknown or, for an
+// unqualified name, ambiguous.
+func (s *Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", joinQual(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("unknown column %q", joinQual(qualifier, name))
+	}
+	return found, nil
+}
+
+// HasQualifier reports whether any column carries the given qualifier.
+func (s *Schema) HasQualifier(q string) bool {
+	for _, c := range s.Columns {
+		if strings.EqualFold(c.Qualifier, q) {
+			return true
+		}
+	}
+	return false
+}
+
+func joinQual(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+// Row is one tuple: a slice of values positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row safe to retain across iterator advances.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// ConcatRows returns the concatenation of a and b as a fresh row.
+func ConcatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// KeyOf encodes the projection of row onto the given column indexes as a
+// composite hash key.
+func KeyOf(row Row, idx []int) string {
+	var sb strings.Builder
+	for _, i := range idx {
+		row[i].AppendKey(&sb)
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Qualifier: "u", Name: "uid", Type: KindInt},
+		Column{Qualifier: "u", Name: "name", Type: KindString},
+		Column{Qualifier: "r", Name: "uid", Type: KindInt},
+	)
+}
+
+func TestResolveQualified(t *testing.T) {
+	s := testSchema()
+	i, err := s.Resolve("u", "uid")
+	if err != nil || i != 0 {
+		t.Errorf("u.uid -> %d, %v", i, err)
+	}
+	i, err = s.Resolve("r", "UID") // case-insensitive
+	if err != nil || i != 2 {
+		t.Errorf("r.UID -> %d, %v", i, err)
+	}
+}
+
+func TestResolveUnqualified(t *testing.T) {
+	s := testSchema()
+	i, err := s.Resolve("", "name")
+	if err != nil || i != 1 {
+		t.Errorf("name -> %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "uid"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("unqualified uid must be ambiguous, got %v", err)
+	}
+	if _, err := s.Resolve("", "nope"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := s.Resolve("x", "uid"); err == nil {
+		t.Error("unknown qualifier must fail")
+	}
+}
+
+func TestWithQualifierAndConcat(t *testing.T) {
+	s := testSchema().WithQualifier("a")
+	for _, c := range s.Columns {
+		if c.Qualifier != "a" {
+			t.Fatalf("requalify failed: %+v", c)
+		}
+	}
+	joined := s.Concat(testSchema())
+	if joined.Len() != 6 {
+		t.Fatalf("concat len = %d", joined.Len())
+	}
+	if !joined.HasQualifier("a") || !joined.HasQualifier("U") {
+		t.Error("HasQualifier failed")
+	}
+	if joined.HasQualifier("z") {
+		t.Error("HasQualifier false positive")
+	}
+}
+
+func TestQualifiedName(t *testing.T) {
+	c := Column{Qualifier: "t", Name: "c"}
+	if c.QualifiedName() != "t.c" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+	c.Qualifier = ""
+	if c.QualifiedName() != "c" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+}
+
+func TestRowCloneAndConcat(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].I != 1 {
+		t.Error("Clone aliases original")
+	}
+	j := ConcatRows(r, Row{NewBool(true)})
+	if len(j) != 3 || !j[2].B {
+		t.Errorf("ConcatRows: %v", j)
+	}
+}
+
+func TestKeyOfComposite(t *testing.T) {
+	a := Row{NewInt(1), NewString("ab")}
+	b := Row{NewInt(1), NewString("ab")}
+	if KeyOf(a, []int{0, 1}) != KeyOf(b, []int{0, 1}) {
+		t.Error("identical rows must share a key")
+	}
+	// Composite keys must not collide across boundaries ("a","bc") vs ("ab","c").
+	x := Row{NewString("a"), NewString("bc")}
+	y := Row{NewString("ab"), NewString("c")}
+	if KeyOf(x, []int{0, 1}) == KeyOf(y, []int{0, 1}) {
+		t.Error("composite key boundary collision")
+	}
+}

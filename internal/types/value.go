@@ -1,0 +1,321 @@
+// Package types defines the value and schema model shared by the storage
+// layer, the expression evaluator, and the executor.
+//
+// Values form a tagged union covering the SQL types GRFusion exercises
+// (NULL, BOOLEAN, BIGINT, DOUBLE, VARCHAR) plus the three extended tuple
+// types the paper introduces for cross-model pipelines (Vertex, Edge, Path;
+// see §5.2 of the paper). Keeping Value a small struct rather than an
+// interface avoids boxing on the hot traversal and join paths.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	// KindVertex, KindEdge and KindPath carry references to native graph
+	// elements flowing through a cross-model query pipeline (§5.2). The
+	// referent lives in internal/graph; it is held as an opaque pointer here
+	// to keep the package dependency-free.
+	KindVertex
+	KindEdge
+	KindPath
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindVertex:
+		return "VERTEX"
+	case KindEdge:
+		return "EDGE"
+	case KindPath:
+		return "PATH"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	F    float64
+	S    string
+	// Ref holds the graph element for KindVertex/KindEdge/KindPath
+	// (a *graph.Vertex, *graph.Edge, or *graph.Path).
+	Ref any
+}
+
+// Constructors.
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// NewInt returns a BIGINT value.
+func NewInt(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{Kind: KindString, S: s} }
+
+// NewRef returns a graph-element value of the given kind.
+func NewRef(k Kind, ref any) Value { return Value{Kind: k, Ref: ref} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// IsNumeric reports whether v is BIGINT or DOUBLE.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat returns the numeric value of v widened to float64.
+// It is only meaningful for numeric kinds.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// AsInt returns the value as an int64, truncating DOUBLEs.
+func (v Value) AsInt() int64 {
+	if v.Kind == KindFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Truthy reports whether v is a true BOOLEAN. NULL and non-booleans are false.
+func (v Value) Truthy() bool { return v.Kind == KindBool && v.B }
+
+// String renders the value for display and for Path string rendering.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindVertex:
+		return fmt.Sprintf("<vertex %v>", v.Ref)
+	case KindEdge:
+		return fmt.Sprintf("<edge %v>", v.Ref)
+	case KindPath:
+		if s, ok := v.Ref.(fmt.Stringer); ok {
+			return s.String()
+		}
+		return fmt.Sprintf("<path %v>", v.Ref)
+	default:
+		return fmt.Sprintf("<bad value kind %d>", v.Kind)
+	}
+}
+
+// Comparable reports whether values of kinds a and b can be ordered
+// against each other.
+func Comparable(a, b Kind) bool {
+	if a == b {
+		return true
+	}
+	numeric := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return numeric(a) && numeric(b)
+}
+
+// Compare orders a against b and returns -1, 0, or +1.
+// NULL sorts before every non-NULL value (and equal to NULL), mixed
+// numeric kinds compare numerically, and incomparable kinds order by kind
+// tag so that sorting is always total.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind != b.Kind {
+		switch {
+		case a.Kind < b.Kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch a.Kind {
+	case KindBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		default:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	default:
+		// Graph references have no meaningful order; treat as equal.
+		return 0
+	}
+}
+
+// Equal reports whether a and b compare equal under Compare, with the
+// exception that graph references compare by identity.
+func Equal(a, b Value) bool {
+	if a.Kind >= KindVertex && a.Kind == b.Kind {
+		return a.Ref == b.Ref
+	}
+	if !Comparable(a.Kind, b.Kind) {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key encodes v into a string usable as a hash-join or group-by key.
+// Numeric values that are exactly representable as int64 share a key across
+// BIGINT and DOUBLE so that mixed-type equi-joins behave like Compare.
+func (v Value) Key() string {
+	var sb strings.Builder
+	v.AppendKey(&sb)
+	return sb.String()
+}
+
+// AppendKey appends v's hash key to sb (see Key).
+func (v Value) AppendKey(sb *strings.Builder) {
+	switch v.Kind {
+	case KindNull:
+		sb.WriteByte('n')
+	case KindBool:
+		if v.B {
+			sb.WriteString("b1")
+		} else {
+			sb.WriteString("b0")
+		}
+	case KindInt:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(int64(v.F), 10))
+		} else {
+			sb.WriteByte('f')
+			sb.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+		}
+	case KindString:
+		sb.WriteByte('s')
+		sb.WriteString(v.S)
+	default:
+		sb.WriteByte('r')
+		fmt.Fprintf(sb, "%p", v.Ref)
+	}
+}
+
+// CoerceTo converts v to the target kind where SQL allows an implicit
+// conversion (numeric widening/narrowing, anything from NULL).
+// It returns an error for lossy or nonsensical conversions.
+func CoerceTo(v Value, k Kind) (Value, error) {
+	if v.Kind == k || v.Kind == KindNull {
+		return v, nil
+	}
+	switch k {
+	case KindFloat:
+		if v.Kind == KindInt {
+			return NewFloat(float64(v.I)), nil
+		}
+	case KindInt:
+		if v.Kind == KindFloat && v.F == math.Trunc(v.F) {
+			return NewInt(int64(v.F)), nil
+		}
+	case KindString:
+		return NewString(v.String()), nil
+	}
+	return Null(), fmt.Errorf("cannot coerce %s value to %s", v.Kind, k)
+}
+
+// ParseLiteral converts a raw string into the given kind, used by loaders.
+func ParseLiteral(s string, k Kind) (Value, error) {
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("bad BIGINT literal %q: %v", s, err)
+		}
+		return NewInt(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("bad DOUBLE literal %q: %v", s, err)
+		}
+		return NewFloat(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("bad BOOLEAN literal %q: %v", s, err)
+		}
+		return NewBool(b), nil
+	case KindString:
+		return NewString(s), nil
+	default:
+		return Null(), fmt.Errorf("cannot parse literal of kind %s", k)
+	}
+}

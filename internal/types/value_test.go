@@ -1,0 +1,217 @@
+package types
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOLEAN", KindInt: "BIGINT",
+		KindFloat: "DOUBLE", KindString: "VARCHAR",
+		KindVertex: "VERTEX", KindEdge: "EDGE", KindPath: "PATH",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	if v := NewInt(42); v.Kind != KindInt || v.I != 42 || v.AsFloat() != 42 || v.AsInt() != 42 {
+		t.Errorf("NewInt: %+v", v)
+	}
+	if v := NewFloat(2.5); v.Kind != KindFloat || v.AsFloat() != 2.5 || v.AsInt() != 2 {
+		t.Errorf("NewFloat: %+v", v)
+	}
+	if v := NewString("x"); v.Kind != KindString || v.S != "x" {
+		t.Errorf("NewString: %+v", v)
+	}
+	if v := NewBool(true); !v.Truthy() {
+		t.Errorf("NewBool(true) not truthy")
+	}
+	if NewInt(1).Truthy() || Null().Truthy() {
+		t.Error("non-boolean values must not be truthy")
+	}
+	if !NewInt(1).IsNumeric() || !NewFloat(1).IsNumeric() || NewString("1").IsNumeric() {
+		t.Error("IsNumeric misclassifies")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v-kind) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.0), NewInt(1), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null(), NewInt(0), -1},
+		{NewInt(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualMixedNumeric(t *testing.T) {
+	if !Equal(NewInt(3), NewFloat(3.0)) {
+		t.Error("3 must equal 3.0")
+	}
+	if Equal(NewInt(3), NewString("3")) {
+		t.Error("3 must not equal '3'")
+	}
+}
+
+func TestKeyNormalizesIntegralFloats(t *testing.T) {
+	if NewInt(3).Key() != NewFloat(3.0).Key() {
+		t.Error("hash keys of 3 and 3.0 must match for mixed-type equi-joins")
+	}
+	if NewInt(3).Key() == NewFloat(3.5).Key() {
+		t.Error("3 and 3.5 must have different keys")
+	}
+	if NewString("3").Key() == NewInt(3).Key() {
+		t.Error("'3' and 3 must have different keys")
+	}
+}
+
+// Property: Compare defines a total order (antisymmetric, transitive via
+// sort consistency) over randomly generated scalar values.
+func TestCompareTotalOrderProperty(t *testing.T) {
+	gen := func(seed int64) Value {
+		switch seed % 5 {
+		case 0:
+			return Null()
+		case 1:
+			return NewBool(seed%2 == 0)
+		case 2:
+			return NewInt(seed % 100)
+		case 3:
+			return NewFloat(float64(seed%100) / 4)
+		default:
+			return NewString(string(rune('a' + seed%26)))
+		}
+	}
+	prop := func(a, b, c int64) bool {
+		x, y := gen(a), gen(b)
+		if Compare(x, y) != -Compare(y, x) {
+			return false
+		}
+		vals := []Value{gen(a), gen(b), gen(c)}
+		sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+		return Compare(vals[0], vals[1]) <= 0 && Compare(vals[1], vals[2]) <= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal Compare implies equal Key for comparable scalar kinds.
+func TestKeyConsistentWithCompare(t *testing.T) {
+	prop := func(i int64, f float64) bool {
+		a, b := NewInt(i), NewFloat(f)
+		if math.IsNaN(f) {
+			return true
+		}
+		if Compare(a, b) == 0 {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	v, err := CoerceTo(NewInt(3), KindFloat)
+	if err != nil || v.Kind != KindFloat || v.F != 3 {
+		t.Errorf("int->float: %v, %v", v, err)
+	}
+	v, err = CoerceTo(NewFloat(3.0), KindInt)
+	if err != nil || v.Kind != KindInt || v.I != 3 {
+		t.Errorf("float(int)->int: %v, %v", v, err)
+	}
+	if _, err = CoerceTo(NewFloat(3.5), KindInt); err == nil {
+		t.Error("lossy float->int must fail")
+	}
+	if _, err = CoerceTo(NewString("x"), KindInt); err == nil {
+		t.Error("string->int must fail")
+	}
+	v, err = CoerceTo(Null(), KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("null coerces to anything: %v, %v", v, err)
+	}
+	v, err = CoerceTo(NewInt(3), KindString)
+	if err != nil || v.S != "3" {
+		t.Errorf("int->string: %v, %v", v, err)
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	if v, err := ParseLiteral("42", KindInt); err != nil || v.I != 42 {
+		t.Errorf("int parse: %v %v", v, err)
+	}
+	if v, err := ParseLiteral("1.5", KindFloat); err != nil || v.F != 1.5 {
+		t.Errorf("float parse: %v %v", v, err)
+	}
+	if v, err := ParseLiteral("true", KindBool); err != nil || !v.B {
+		t.Errorf("bool parse: %v %v", v, err)
+	}
+	if v, err := ParseLiteral("abc", KindString); err != nil || v.S != "abc" {
+		t.Errorf("string parse: %v %v", v, err)
+	}
+	if _, err := ParseLiteral("abc", KindInt); err == nil {
+		t.Error("bad int literal must fail")
+	}
+	if _, err := ParseLiteral("x", KindBool); err == nil {
+		t.Error("bad bool literal must fail")
+	}
+	if _, err := ParseLiteral("x", KindPath); err == nil {
+		t.Error("unparseable kind must fail")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Comparable(KindInt, KindFloat) || !Comparable(KindString, KindString) {
+		t.Error("comparable pairs rejected")
+	}
+	if Comparable(KindString, KindInt) || Comparable(KindBool, KindInt) {
+		t.Error("incomparable pairs accepted")
+	}
+}
