@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race fuzz bench fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The merge gate: every package under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the SQL parser (CI runs the same budget).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/sql
+
+# Sequential-vs-parallel traversal timings; emits the perf-trajectory
+# artifact CI uploads on every run.
+bench:
+	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_concurrency.json

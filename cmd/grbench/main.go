@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, all)")
+		exp     = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, all)")
 		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		queries = flag.Int("queries", 10, "query instances averaged per data point")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		hops    = flag.Int("maxhops", 8, "deepest traversal attempted by the SQLGraph baseline")
 		mem     = flag.Int64("mem", 0, "intermediate-memory budget for VoltDB-style runs (bytes, 0 = default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("json", "", "also write rows with run metadata to this JSON file (e.g. BENCH_concurrency.json)")
 	)
 	flag.Parse()
 
@@ -62,4 +63,11 @@ func main() {
 	fmt.Print(bench.Format(rows))
 	fmt.Printf("\n%d data points in %s (scale=%g, queries=%d, seed=%d)\n",
 		len(rows), time.Since(start).Round(time.Millisecond), *scale, *queries, *seed)
+	if *jsonOut != "" {
+		if err := bench.WriteJSONFile(*jsonOut, *exp, cfg, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "grbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 }

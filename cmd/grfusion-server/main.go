@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql] [-mem bytes] [-stats 30s]
+//	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql] [-mem bytes] [-stats 30s] [-workers N]
 package main
 
 import (
@@ -23,10 +23,11 @@ func main() {
 		script  = flag.String("script", "", "run a SQL script before serving")
 		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
 		stats   = flag.Duration("stats", 0, "graph-view statistics refresh interval (0 = disabled)")
+		workers = flag.Int("workers", 0, "traversal worker pool per multi-source path query (<=1 = sequential)")
 	)
 	flag.Parse()
 
-	eng := core.New(core.Options{MemLimit: *mem})
+	eng := core.New(core.Options{MemLimit: *mem, Workers: *workers})
 	if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {

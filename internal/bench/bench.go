@@ -52,13 +52,13 @@ func (c Config) Defaults() Config {
 
 // Row is one reported data point.
 type Row struct {
-	Experiment string  // e.g. "fig7"
-	Dataset    string  // e.g. "road"
-	System     string  // e.g. "grfusion"
-	Param      string  // e.g. "len=4"
-	Metric     string  // e.g. "avg_ms"
-	Value      float64 // the measurement
-	Note       string  // e.g. "ABORT: memory limit"
+	Experiment string  `json:"experiment"` // e.g. "fig7"
+	Dataset    string  `json:"dataset"`    // e.g. "road"
+	System     string  `json:"system"`     // e.g. "grfusion"
+	Param      string  `json:"param"`      // e.g. "len=4"
+	Metric     string  `json:"metric"`     // e.g. "avg_ms"
+	Value      float64 `json:"value"`      // the measurement
+	Note       string  `json:"note,omitempty"`
 }
 
 // Format renders rows as an aligned text table grouped the way the paper's
@@ -102,7 +102,13 @@ var DatasetNames = []string{"road", "protein", "dblp", "twitter"}
 // LoadGRFusion embeds a dataset into a fresh GRFusion engine and creates
 // its graph view. The view name equals the dataset name.
 func LoadGRFusion(d *datagen.Dataset, opts plan.Options) (*core.Engine, error) {
-	eng := core.New(core.Options{Plan: opts})
+	return LoadGRFusionEngine(d, core.Options{Plan: opts})
+}
+
+// LoadGRFusionEngine is LoadGRFusion with full engine options, so the
+// concurrency experiments can size the traversal worker pool.
+func LoadGRFusionEngine(d *datagen.Dataset, opts core.Options) (*core.Engine, error) {
+	eng := core.New(opts)
 	dir := "DIRECTED"
 	if !d.Directed {
 		dir = "UNDIRECTED"

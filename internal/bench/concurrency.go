@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/plan"
+)
+
+// This file benchmarks the concurrent read engine: the same multi-source
+// traversals the paper evaluates sequentially (reachability and shortest
+// paths over every start vertex, §7), executed first on the sequential
+// kernel and then fanned across the ParallelPathScan worker pool. The
+// timings seed the repo's performance trajectory (BENCH_concurrency.json,
+// uploaded by CI on every run); the speedup rows are the acceptance
+// measurement for the Workers knob. Results are identical across worker
+// counts by construction — the parallel operator merges per-source results
+// in source order — so the benchmark validates row counts while timing.
+
+// ConcurrencyWorkers is the worker-count sweep. 1 runs the sequential
+// kernel (Workers knob disabled); higher values size the traversal pool.
+var ConcurrencyWorkers = []int{1, 2, 4}
+
+// Concurrency reports sequential-vs-parallel timings for two read
+// workloads on the twitter-like and road datasets:
+//
+//   - reach: multi-source bounded reachability — every vertex fans a
+//     breadth-limited traversal, COUNT(*) drains it.
+//   - sp: multi-source shortest path — every vertex runs a weighted
+//     search toward a fixed hub.
+//
+// For each workload it emits one avg_ms row per worker count plus a
+// speedup row (sequential time / parallel time) per parallel
+// configuration, and a gomaxprocs row recording how many cores the
+// measurement actually had — on a single-core host speedups sit near 1.0
+// by construction.
+func Concurrency(cfg Config) []Row {
+	cfg = cfg.Defaults()
+	ds := Datasets(cfg)
+	rows := []Row{{
+		Experiment: "concurrency", Dataset: "-", System: "grfusion",
+		Param: "-", Metric: "gomaxprocs", Value: float64(runtime.GOMAXPROCS(0)),
+	}}
+
+	workloads := []struct {
+		name    string
+		dataset string
+		query   string
+		queries int
+	}{
+		{
+			name:    "reach",
+			dataset: "twitter",
+			query:   `SELECT COUNT(*) FROM twitter.Paths PS WHERE PS.Length <= 2 AND PS.Edges[0..*].sel < 80`,
+			queries: cfg.Queries,
+		},
+		{
+			name:    "sp",
+			dataset: "road",
+			query:   ``, // filled below: target is the dataset's last vertex
+			queries: maxInt(1, cfg.Queries/5),
+		},
+	}
+	{
+		d := ds["road"]
+		target := d.Vertices[len(d.Vertices)-1].ID
+		workloads[1].query = fmt.Sprintf(
+			`SELECT COUNT(*) FROM road.Paths PS HINT(SHORTESTPATH(w)) WHERE PS.EndVertex.Id = %d`, target)
+	}
+
+	for _, wl := range workloads {
+		d := ds[wl.dataset]
+		var seqMS float64
+		var wantCount float64 = -1
+		for _, workers := range ConcurrencyWorkers {
+			opts := core.Options{Plan: plan.Options{}}
+			if workers > 1 {
+				opts.Workers = workers
+			}
+			eng, err := LoadGRFusionEngine(d, opts)
+			if err != nil {
+				rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+					System: "grfusion", Param: wlParam(wl.name, workers), Metric: "avg_ms",
+					Note: "ABORT: " + firstLine(err.Error())})
+				continue
+			}
+			p, err := eng.Prepare(wl.query)
+			if err != nil {
+				rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+					System: "grfusion", Param: wlParam(wl.name, workers), Metric: "avg_ms",
+					Note: "ABORT: " + firstLine(err.Error())})
+				continue
+			}
+			// Warm-up run; also captures the count every configuration
+			// must reproduce (the determinism cross-check).
+			r, err := p.Query()
+			if err != nil {
+				rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+					System: "grfusion", Param: wlParam(wl.name, workers), Metric: "avg_ms",
+					Note: "ABORT: " + firstLine(err.Error())})
+				continue
+			}
+			count := float64(r.Rows[0][0].I)
+			if wantCount < 0 {
+				wantCount = count
+			} else if count != wantCount {
+				rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+					System: "grfusion", Param: wlParam(wl.name, workers), Metric: "avg_ms",
+					Note: fmt.Sprintf("ABORT: nondeterministic count %g != %g", count, wantCount)})
+				continue
+			}
+			ms, note := timeAvgMS(wl.queries, func(int) error {
+				_, err := p.Query()
+				return err
+			})
+			rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+				System: "grfusion", Param: wlParam(wl.name, workers), Metric: "avg_ms",
+				Value: ms, Note: note})
+			if workers == 1 {
+				seqMS = ms
+			} else if seqMS > 0 && ms > 0 {
+				rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+					System: "grfusion", Param: wlParam(wl.name, workers), Metric: "speedup",
+					Value: seqMS / ms})
+			}
+		}
+		rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
+			System: "grfusion", Param: wl.name, Metric: "paths", Value: wantCount})
+	}
+	return rows
+}
+
+func wlParam(name string, workers int) string {
+	return fmt.Sprintf("%s workers=%d", name, workers)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchJSON is the on-disk schema of BENCH_concurrency.json (and future
+// BENCH_*.json trajectory files): enough run metadata to compare numbers
+// across commits and machines.
+type BenchJSON struct {
+	Experiment string  `json:"experiment"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Queries    int     `json:"queries"`
+	Seed       int64   `json:"seed"`
+	Unix       int64   `json:"generated_unix"`
+	Rows       []Row   `json:"rows"`
+}
+
+// WriteJSON serializes benchmark rows with run metadata.
+func WriteJSON(w io.Writer, experiment string, cfg Config, rows []Row) error {
+	cfg = cfg.Defaults()
+	doc := BenchJSON{
+		Experiment: experiment,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+		Unix:       time.Now().Unix(),
+		Rows:       rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+// WriteJSONFile writes WriteJSON output to path.
+func WriteJSONFile(path, experiment string, cfg Config, rows []Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, experiment, cfg, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

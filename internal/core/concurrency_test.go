@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ladderEngine builds a directed "ladder" graph — vertex i links to i+1
+// and i+2 — dense enough in paths that multi-source traversals do real
+// work, with Workers configuring the traversal pool.
+func ladderEngine(t testing.TB, n, workers int) *Engine {
+	e := New(Options{Workers: workers})
+	var sb strings.Builder
+	sb.WriteString(`CREATE TABLE V (vid BIGINT PRIMARY KEY, name VARCHAR);
+		CREATE TABLE E (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE);
+	`)
+	if _, err := e.ExecuteScript(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	sb.WriteString("INSERT INTO V VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+	}
+	if _, err := e.Execute(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	sb.WriteString("INSERT INTO E VALUES ")
+	eid, first := 0, true
+	for i := 0; i < n; i++ {
+		for _, d := range []int{1, 2} {
+			if i+d >= n {
+				continue
+			}
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&sb, "(%d, %d, %d, %d.5)", eid, i, i+d, d)
+			eid++
+		}
+	}
+	if _, err := e.Execute(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`CREATE DIRECTED GRAPH VIEW Ladder
+		VERTEXES(ID = vid, name = name) FROM V
+		EDGES(ID = eid, FROM = src, TO = dst, w = w) FROM E`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// multiSourceQuery fans a traversal out of every vertex: no start binding,
+// so the planner marks the PathScan parallel.
+const multiSourceQuery = `SELECT PS FROM Ladder.Paths PS WHERE PS.Length <= 3`
+
+// TestParallelPathScanMatchesSequential is the determinism acceptance
+// test: the same multi-source traversal must produce byte-identical rows
+// in the same order at any worker count.
+func TestParallelPathScanMatchesSequential(t *testing.T) {
+	const n = 60
+	seq := ladderEngine(t, n, 0)
+	want := render(mustExec(t, seq, multiSourceQuery))
+	if len(want) == 0 {
+		t.Fatal("empty golden result")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := ladderEngine(t, n, workers)
+		got := render(mustExec(t, par, multiSourceQuery))
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: %d rows diverge from sequential (%d vs %d rows)",
+				workers, n, len(got), len(want))
+		}
+	}
+}
+
+// TestParallelPlanMarking checks the planner marks multi-source scans
+// parallel and start-bound probes sequential.
+func TestParallelPlanMarking(t *testing.T) {
+	e := ladderEngine(t, 10, 4)
+	plan, err := e.Explain(multiSourceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "parallel") {
+		t.Fatalf("multi-source plan not marked parallel:\n%s", plan)
+	}
+	plan, err = e.Explain(`SELECT PS FROM Ladder.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.Length <= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "parallel") {
+		t.Fatalf("single-source plan marked parallel:\n%s", plan)
+	}
+}
+
+// TestParallelShortestPathMatchesSequential covers the SPScan kernel under
+// the parallel operator (per-source Dijkstra fan-out).
+func TestParallelShortestPathMatchesSequential(t *testing.T) {
+	const q = `SELECT PS FROM Ladder.Paths PS HINT(SHORTESTPATH(w)) WHERE PS.EndVertex.Id = 29`
+	seq := ladderEngine(t, 30, 0)
+	want := render(mustExec(t, seq, q))
+	par := ladderEngine(t, 30, 4)
+	got := render(mustExec(t, par, q))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("SP parallel diverges: %d vs %d rows", len(got), len(want))
+	}
+}
+
+// TestConcurrentReadsMatchSerialized hammers one engine with identical
+// concurrent reads; every result must equal the serialized golden run.
+func TestConcurrentReadsMatchSerialized(t *testing.T) {
+	e := ladderEngine(t, 40, 4)
+	want := render(mustExec(t, e, multiSourceQuery))
+	const goroutines = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r, err := e.Execute(multiSourceQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(want, render(r)) {
+					errs <- fmt.Errorf("concurrent read diverged from serialized result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadsAndDML mixes readers with a writer mutating the edge
+// relational-source (exercising §3.3 graph-view maintenance under the
+// exclusive lock) and checks the engine ends consistent and deadlock-free.
+func TestConcurrentReadsAndDML(t *testing.T) {
+	e := ladderEngine(t, 40, 2)
+	base := mustExec(t, e, `SELECT COUNT(*) FROM E`).Rows[0][0].I
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Execute(multiSourceQuery); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			id := 100000 + i
+			if _, err := e.Execute(fmt.Sprintf(
+				`INSERT INTO E VALUES (%d, 0, 39, 9.5)`, id)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.Execute(fmt.Sprintf(`DELETE FROM E WHERE eid = %d`, id)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		close(stop)
+	}()
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock: readers/writer did not finish")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := mustExec(t, e, `SELECT COUNT(*) FROM E`).Rows[0][0].I; got != base {
+		t.Fatalf("edge count after DML churn: %d, want %d", got, base)
+	}
+	if got := render(mustExec(t, e, `SELECT COUNT(*) FROM Ladder.Vertexes V`)); got[0][0] != "40" {
+		t.Fatalf("vertex facet after churn: %v", got)
+	}
+}

@@ -4,9 +4,14 @@
 // maintains them transactionally under DML (§3.3), and runs cross-model
 // QEPs produced by the planner (§5).
 //
-// Concurrency follows the H-Store/VoltDB model the paper builds on: the
-// engine serializes statement execution (one writer/reader at a time), so
-// transactions are trivially serializable and operators run lock-free.
+// Concurrency departs from the single-threaded H-Store/VoltDB partition
+// model the paper builds on: statement execution follows a reader/writer
+// protocol instead. Read-only statements (SELECT over relations or the
+// VERTEXES/EDGES/PATHS facets, EXPLAIN, SHOW) take a shared lock and run
+// concurrently; DML and DDL take the exclusive lock, so graph-view
+// maintenance (§3.3) remains transactionally serialized and operators
+// still run lock-free — writers never overlap anything, and readers only
+// overlap other readers over immutable-for-the-duration state.
 package core
 
 import (
@@ -28,13 +33,23 @@ type Options struct {
 	// Zero means unlimited. (VoltDB's recommended temp-table limit is
 	// 100 MB; the paper's Twitter experiment exceeds 16 GB and aborts.)
 	MemLimit int64
+	// Workers bounds the worker pool a single parallelizable PathScan may
+	// fan a multi-source traversal across (reachability from every vertex,
+	// triangle enumeration, ...). Values <= 1 keep traversals sequential;
+	// results are identical either way — the parallel operator merges
+	// per-source results in deterministic source order.
+	Workers int
 	// Planner options (pushdown/inference toggles for ablations).
 	Plan plan.Options
 }
 
 // Engine is one in-memory database instance.
 type Engine struct {
-	mu   sync.Mutex
+	// mu is the statement-execution lock: read-only statements hold it
+	// shared, mutating statements hold it exclusively (see the package
+	// comment). Everything reachable from the catalog — tables, indexes,
+	// graph-view topologies — is only mutated under the write side.
+	mu   sync.RWMutex
 	cat  *catalog.Catalog
 	opts Options
 
@@ -97,14 +112,28 @@ func (e *Engine) ExecuteScript(script string) ([]*Result, error) {
 	return out, nil
 }
 
-// ExecuteStmt runs one parsed statement under the engine's serialization
-// lock.
+// ExecuteStmt runs one parsed statement under the engine's reader/writer
+// protocol: read-only statements (as classified by plan.ReadOnly) execute
+// concurrently under the shared lock, everything else serializes under the
+// exclusive lock.
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	if plan.ReadOnly(stmt) {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		switch s := stmt.(type) {
+		case *sql.Select:
+			return e.runSelect(s)
+		case *sql.Explain:
+			return e.runExplain(s)
+		case *sql.Show:
+			return e.runShow(s)
+		}
+		// plan.ReadOnly and this switch must stay in sync.
+		return nil, fmt.Errorf("internal: unhandled read-only statement %T", stmt)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	switch s := stmt.(type) {
-	case *sql.Select:
-		return e.runSelect(s)
 	case *sql.CreateTable:
 		return e.createTable(s)
 	case *sql.CreateIndex:
@@ -136,10 +165,6 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 		return e.runUpdate(s)
 	case *sql.Delete:
 		return e.runDelete(s)
-	case *sql.Explain:
-		return e.runExplain(s)
-	case *sql.Show:
-		return e.runShow(s)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -155,8 +180,8 @@ func (e *Engine) Explain(query string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("EXPLAIN supports SELECT statements only")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
 	op, err := p.PlanSelect(s)
 	if err != nil {
@@ -186,6 +211,7 @@ func (e *Engine) runSelect(s *sql.Select) (*Result, error) {
 		return nil, err
 	}
 	ctx := exec.NewContext(e.opts.MemLimit)
+	ctx.Workers = e.opts.Workers
 	rows, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err

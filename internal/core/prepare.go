@@ -36,8 +36,8 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("Prepare supports SELECT statements only, got %T (use PrepareDML)", stmt)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
 	op, err := p.PlanSelect(s)
 	if err != nil {
@@ -125,15 +125,20 @@ func (p *Prepared) NumParams() int { return p.nparams }
 // Columns returns the result column names.
 func (p *Prepared) Columns() []string { return p.cols }
 
-// Query executes the prepared plan with the given parameter values.
+// Query executes the prepared plan with the given parameter values. It
+// takes the engine's shared lock, so any number of prepared queries (and
+// ad-hoc reads) run concurrently; operator trees keep all per-execution
+// state in their iterators, making a Prepared safe for concurrent Query
+// calls from multiple goroutines.
 func (p *Prepared) Query(params ...types.Value) (*Result, error) {
 	if len(params) != p.nparams {
 		return nil, fmt.Errorf("prepared statement expects %d parameter(s), got %d",
 			p.nparams, len(params))
 	}
-	p.e.mu.Lock()
-	defer p.e.mu.Unlock()
+	p.e.mu.RLock()
+	defer p.e.mu.RUnlock()
 	ctx := exec.NewContext(p.e.opts.MemLimit)
+	ctx.Workers = p.e.opts.Workers
 	ctx.Params = types.Row(params)
 	rows, err := exec.Collect(ctx, p.op)
 	if err != nil {

@@ -64,10 +64,12 @@ type snapDB struct {
 
 const snapshotVersion = 1
 
-// Snapshot writes a consistent image of the database to w.
+// Snapshot writes a consistent image of the database to w. It is a pure
+// read: it holds the shared lock, so queries keep running while the image
+// is written and only writers are held off.
 func (e *Engine) Snapshot(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	db := snapDB{Version: snapshotVersion}
 	for _, name := range e.cat.Tables() {
 		if e.cat.IsMatViewTable(name) {

@@ -11,14 +11,24 @@ import (
 //
 // StartStatistics launches that backend refresher; the optimizer picks up
 // each view's published GraphStats when choosing physical traversal
-// operators. Refreshes run under the engine's serialization lock, like
-// any other catalog reader.
+// operators.
+//
+// Concurrency audit (the refresher is the one long-lived goroutine that
+// touches engine state): a refresh only *reads* catalog and topology —
+// ComputeStats walks the graph, and publication goes through
+// GraphView.SetStats, an atomic-pointer store that racing readers observe
+// via the matching atomic load in GraphView.Stats. It therefore runs under
+// the engine's *shared* lock, concurrent with queries, and never blocks
+// them; DML/DDL (which do mutate the topology the walk reads) are excluded
+// by the write lock. The statsMu below guards only the refresher's own
+// lifecycle fields (statsStop/statsDone) — every Start/Close path takes it
+// before touching them.
 
 // RefreshStatistics recomputes and publishes the statistics object of
 // every graph view once, synchronously.
 func (e *Engine) RefreshStatistics() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	e.refreshStatsLocked()
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -72,4 +74,63 @@ func TestStartStatisticsRestart(t *testing.T) {
 	// Zero interval is a no-op.
 	e.StartStatistics(0)
 	e.Close()
+}
+
+// TestStatsHammerDuringConcurrentReads is the -race regression test for
+// the statistics refresher: a fast-ticking backend thread recomputes and
+// publishes GraphStats (under the shared lock, via the atomic stats
+// pointer) while reader goroutines plan and execute traversals that
+// consult those statistics and a writer mutates the topology. Any missing
+// synchronization between the refresher, the planner's Stats() reads, and
+// graph-view maintenance surfaces here under -race.
+func TestStatsHammerDuringConcurrentReads(t *testing.T) {
+	e := socialEngine(t)
+	e.StartStatistics(time.Millisecond)
+	defer e.Close()
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Unbounded multi-source scan: the planner's physical
+				// choice reads the published statistics object.
+				if _, err := e.Execute(`SELECT PS FROM SocialNetwork.Paths PS WHERE PS.Length <= 2`); err != nil {
+					errs <- err
+					return
+				}
+				e.RefreshStatistics() // synchronous refresh racing the ticker
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			id := 900 + i
+			if _, err := e.Execute(fmt.Sprintf(`INSERT INTO Relationships VALUES (%d, 1, 5, '2020-01-01', false)`, id)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.Execute(fmt.Sprintf(`DELETE FROM Relationships WHERE relid = %d`, id)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 }

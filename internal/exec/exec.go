@@ -26,9 +26,15 @@ type Context struct {
 	// being executed (empty for ad-hoc statements).
 	Params types.Row
 
+	// Workers bounds the worker pool a parallelizable PathScan may fan a
+	// multi-source traversal across. <= 1 keeps traversals sequential.
+	Workers int
+
 	used int64
 
-	// Counters.
+	// Counters. EdgesTraversed is updated with atomic adds (traversal
+	// workers flush their local counts into it); read it only after the
+	// query completes, or via atomic loads.
 	RowsEmitted    int64
 	EdgesTraversed int64
 	PathsEmitted   int64

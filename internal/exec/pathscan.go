@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"grfusion/internal/catalog"
 	"grfusion/internal/expr"
@@ -107,6 +108,12 @@ type PathScanSpec struct {
 	// bound to the OUTER schema.
 	StartExpr, EndExpr expr.Expr
 
+	// Parallel marks the scan safe to fan across the executor's traversal
+	// worker pool (set by the planner for multi-source scans). It only
+	// takes effect when Context.Workers > 1; results are merged in source
+	// order either way, so the knob never changes query output.
+	Parallel bool
+
 	// WeightAttr is the SPScan weight attribute; KPaths is the number of
 	// shortest simple paths to enumerate per (start, target) pair.
 	WeightAttr string
@@ -171,6 +178,9 @@ func (p *PathProbeJoin) Explain() string {
 	}
 	if p.Spec.Phys == PhysSP {
 		fmt.Fprintf(&sb, " weight=%s k=%d", p.Spec.WeightAttr, p.Spec.KPaths)
+	}
+	if p.Spec.Parallel {
+		sb.WriteString(" parallel")
 	}
 	if p.Residual != nil {
 		fmt.Fprintf(&sb, " residual=%s", p.Residual)
@@ -250,9 +260,48 @@ type pathProbeIter struct {
 	si       int
 	target   *graph.Vertex
 	consts   probeConsts
-	iter     graph.PathIterator
-	spErr    func() error
-	evalErr  error
+	run      *probeRun
+}
+
+// probeRun is one live traversal: the kernel iterator plus the mutable
+// state its filter closures write (evaluation errors, the edge counter).
+// Isolating that state per run is what makes the parallel path sound —
+// every worker owns exactly one run at a time, while the enclosing
+// pathProbeIter only holds state that is read-only for the probe's
+// duration (spec, resolved positions, bound constants).
+type probeRun struct {
+	ctx     *Context
+	iter    graph.PathIterator
+	evalErr error        // set by filter/weight closures
+	spErr   func() error // kernel error surface (SPScan, parallel merge)
+	edges   int64        // run-local EdgesTraversed
+	msi     *graph.MultiSourceIter
+}
+
+// err surfaces whichever error the run hit first.
+func (r *probeRun) err() error {
+	if r.evalErr != nil {
+		return r.evalErr
+	}
+	if r.spErr != nil {
+		return r.spErr()
+	}
+	return nil
+}
+
+// finish flushes the run's counters and, for a parallel run, waits for
+// every worker to exit — the caller may release the engine's shared lock
+// (or rebind the probe state workers read) only after this returns. The
+// counter flush is atomic because parallel workers finish concurrently.
+func (r *probeRun) finish() {
+	if r.msi != nil {
+		r.msi.Close()
+		r.msi = nil
+	}
+	if r.edges != 0 {
+		atomic.AddInt64(&r.ctx.EdgesTraversed, r.edges)
+		r.edges = 0
+	}
 }
 
 // probeConsts holds the per-probe constant values of pushed filters.
@@ -266,10 +315,10 @@ type probeConsts struct {
 
 func (it *pathProbeIter) Next() (types.Row, error) {
 	for {
-		if it.iter != nil {
-			path := it.iter.Next()
-			if it.evalErr != nil {
-				return nil, it.evalErr
+		if it.run != nil {
+			path := it.run.iter.Next()
+			if err := it.run.evalErr; err != nil {
+				return nil, err
 			}
 			if path != nil {
 				it.ctx.PathsEmitted++
@@ -287,22 +336,25 @@ func (it *pathProbeIter) Next() (types.Row, error) {
 				}
 				return row, nil
 			}
-			if it.spErr != nil {
-				if err := it.spErr(); err != nil {
-					return nil, err
-				}
+			err := it.run.err()
+			it.run.finish()
+			it.run = nil
+			if err != nil {
+				return nil, err
 			}
-			it.iter = nil
 		}
 		if it.si < len(it.starts) {
-			start := it.starts[it.si]
-			it.si++
-			if err := it.openTraversal(start); err != nil {
-				return nil, err
+			if it.si == 0 && it.parallelEligible() {
+				it.openParallel()
+			} else {
+				start := it.starts[it.si]
+				it.si++
+				it.run = it.newRun(start)
 			}
 			continue
 		}
-		// Advance to the next outer row.
+		// Advance to the next outer row. Any previous run has finished by
+		// now, so rebinding the probe state below cannot race a worker.
 		row, err := it.outer.Next()
 		if err != nil || row == nil {
 			return nil, err
@@ -314,7 +366,54 @@ func (it *pathProbeIter) Next() (types.Row, error) {
 	}
 }
 
-func (it *pathProbeIter) Close() { it.outer.Close() }
+func (it *pathProbeIter) Close() {
+	if it.run != nil {
+		it.run.finish()
+		it.run = nil
+	}
+	it.outer.Close()
+}
+
+// parallelEligible reports whether the current probe should fan across the
+// traversal worker pool: the planner marked the scan parallel, the session
+// configured a pool, and there is more than one source to fan out.
+func (it *pathProbeIter) parallelEligible() bool {
+	return it.p.Spec.Parallel && it.ctx.Workers > 1 && len(it.starts) > 1
+}
+
+// openParallel runs one traversal per start vertex on the worker pool. The
+// merge yields paths in start order, so output is byte-identical to the
+// sequential loop over it.starts.
+func (it *pathProbeIter) openParallel() {
+	starts := it.starts
+	it.si = len(starts)
+	msi := graph.RunMultiSource(len(starts), it.ctx.Workers, func(i int) ([]*graph.Path, error) {
+		return it.drainSource(starts[i])
+	})
+	it.run = &probeRun{ctx: it.ctx, iter: msi, spErr: msi.Err, msi: msi}
+}
+
+// drainSource runs one source's traversal to completion on behalf of a
+// worker, returning its paths in kernel order.
+func (it *pathProbeIter) drainSource(start *graph.Vertex) ([]*graph.Path, error) {
+	run := it.newRun(start)
+	defer run.finish()
+	var out []*graph.Path
+	for {
+		p := run.iter.Next()
+		if run.evalErr != nil {
+			return nil, run.evalErr
+		}
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	if err := run.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // bindProbe evaluates the outer-dependent parts of the spec for the
 // current outer row: start vertexes, target, and filter constants.
@@ -420,12 +519,14 @@ func (it *pathProbeIter) evalFilter(f *ElemFilter, v types.Value, other types.Va
 	return expr.CompareOp(f.Op, v, other)
 }
 
-// openTraversal instantiates the traversal kernel for one start vertex.
-func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
+// newRun instantiates the traversal kernel for one start vertex. The
+// returned run owns all mutable traversal state; the closures it installs
+// only read from it (spec, resolved positions, per-probe constants), so
+// runs for different starts may execute on different goroutines.
+func (it *pathProbeIter) newRun(start *graph.Vertex) *probeRun {
 	spec := &it.p.Spec
 	gv := spec.GV
-	it.evalErr = nil
-	it.spErr = nil
+	run := &probeRun{ctx: it.ctx}
 
 	target := it.target
 	if spec.CycleClose {
@@ -440,7 +541,7 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 		AllowCycle: spec.CycleClose,
 	}
 	gspec.FilterEdge = func(pos int, e *graph.Edge, from, to *graph.Vertex) bool {
-		it.ctx.EdgesTraversed++
+		run.edges++
 		for i := range spec.EdgeFilters {
 			f := &spec.EdgeFilters[i]
 			if !f.contains(pos) {
@@ -448,7 +549,7 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 			}
 			v, err := it.edgeAttr(e, it.edgePos[i], f.Attr)
 			if err != nil {
-				it.evalErr = err
+				run.evalErr = err
 				return false
 			}
 			if !it.evalFilter(f, v, it.consts.edgeOther[i], it.consts.edgeList[i]) {
@@ -466,7 +567,7 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 				}
 				val, err := it.vertexAttr(v, it.vertPos[i], f.Attr)
 				if err != nil {
-					it.evalErr = err
+					run.evalErr = err
 					return false
 				}
 				if !it.evalFilter(f, val, it.consts.vertOther[i], it.consts.vertList[i]) {
@@ -479,7 +580,7 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 	if len(spec.AggBounds) > 0 {
 		gspec.Prune = func(p *graph.Path) bool {
 			for i := range spec.AggBounds {
-				if !it.checkBound(i, it.consts.boundVals[i], p) {
+				if !it.checkBound(i, it.consts.boundVals[i], p, &run.evalErr) {
 					return false
 				}
 			}
@@ -491,11 +592,11 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 		weight := func(pos int, e *graph.Edge, from, to *graph.Vertex) (float64, bool) {
 			v, err := it.edgeAttr(e, it.weightPos, spec.WeightAttr)
 			if err != nil {
-				it.evalErr = err
+				run.evalErr = err
 				return 0, false
 			}
 			if !v.IsNumeric() {
-				it.evalErr = fmt.Errorf("SPScan weight attribute %s.%s is not numeric (kind %s)",
+				run.evalErr = fmt.Errorf("SPScan weight attribute %s.%s is not numeric (kind %s)",
 					gv.Name, spec.WeightAttr, v.Kind)
 				return 0, false
 			}
@@ -503,20 +604,21 @@ func (it *pathProbeIter) openTraversal(start *graph.Vertex) error {
 		}
 		k := spec.KPaths
 		sp := graph.NewShortest(gv.G, gspec, weight, k)
-		it.iter = sp
-		it.spErr = sp.Err
+		run.iter = sp
+		run.spErr = sp.Err
 	case PhysBFS:
-		it.iter = graph.NewBFS(gv.G, gspec)
+		run.iter = graph.NewBFS(gv.G, gspec)
 	default:
-		it.iter = graph.NewDFS(gv.G, gspec)
+		run.iter = graph.NewDFS(gv.G, gspec)
 	}
-	return nil
+	return run
 }
 
 // checkBound prunes a partial path that already violates a monotone
 // aggregate bound. Pruning is skipped (returns true) when any contribution
-// is negative, since the aggregate could still shrink.
-func (it *pathProbeIter) checkBound(bi int, bound types.Value, p *graph.Path) bool {
+// is negative, since the aggregate could still shrink. Evaluation errors
+// go to errp (the owning run's error slot).
+func (it *pathProbeIter) checkBound(bi int, bound types.Value, p *graph.Path, errp *error) bool {
 	b := &it.p.Spec.AggBounds[bi]
 	if bound.IsNull() || !bound.IsNumeric() {
 		return true // leave it to the residual filter
@@ -544,7 +646,7 @@ func (it *pathProbeIter) checkBound(bi int, bound types.Value, p *graph.Path) bo
 				v, err = it.edgeAttr(p.Edges[i], pos, b.Attr)
 			}
 			if err != nil {
-				it.evalErr = err
+				*errp = err
 				return false
 			}
 			if v.IsNull() || !v.IsNumeric() {

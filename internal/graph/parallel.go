@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"sync"
+)
+
+// This file implements the scheduling kernel behind the engine's parallel
+// multi-source traversals (the ParallelPathScan operator). The paper's
+// read workloads — reachability, shortest paths, triangle counting (§7) —
+// fan one independent traversal out of every start vertex in a start set;
+// those traversals never share mutable state (each owns its visited
+// set/stack/queue and the topology is immutable while readers hold the
+// engine's shared lock), so they parallelize embarrassingly. What must NOT
+// change is the result: queries are defined to produce the same rows as
+// the sequential engine, so the kernel merges per-source results back in
+// strict source order, making parallel execution observationally identical
+// to the sequential loop over starts.
+
+// srcResult is the fully-drained output of one source's traversal.
+type srcResult struct {
+	idx   int
+	paths []*Path
+	err   error
+}
+
+// MultiSourceIter yields the paths of n independent per-source traversals
+// in deterministic source order (all paths of source 0, then source 1, …),
+// while the traversals themselves run on a bounded worker pool.
+//
+// The in-flight window is bounded (2× the worker count): a source's result
+// set is materialized only while it waits for its turn in the merge, so
+// memory stays proportional to the pool size, not to n. Next is not safe
+// for concurrent use; one goroutine consumes the iterator, as everywhere
+// else in the Volcano pipeline.
+type MultiSourceIter struct {
+	n       int
+	tasks   chan int
+	sem     chan struct{}
+	out     chan srcResult
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	pending map[int]srcResult
+
+	next int
+	cur  []*Path
+	ci   int
+	err  error
+}
+
+// RunMultiSource starts workers goroutines that call run(i) for every
+// source index i in [0, n) and returns the merging iterator. run must
+// return the source's complete path list in the order the sequential
+// kernel would emit it; it is called from worker goroutines, so everything
+// it touches must be either read-only or owned by the call.
+//
+// Callers must Close the iterator (even after draining it) before the
+// state run reads can change again: Close cancels undispatched sources and
+// waits for in-flight runs to finish.
+func RunMultiSource(n, workers int, run func(i int) ([]*Path, error)) *MultiSourceIter {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	window := 2 * workers
+	it := &MultiSourceIter{
+		n:       n,
+		tasks:   make(chan int),
+		sem:     make(chan struct{}, window),
+		out:     make(chan srcResult, window),
+		done:    make(chan struct{}),
+		pending: make(map[int]srcResult, window),
+	}
+	// Dispatcher: feeds source indexes in order, never running more than
+	// `window` ahead of the merge (the semaphore is released as the
+	// consumer receives results).
+	it.wg.Add(1)
+	go func() {
+		defer it.wg.Done()
+		defer close(it.tasks)
+		for i := 0; i < n; i++ {
+			select {
+			case it.sem <- struct{}{}:
+			case <-it.done:
+				return
+			}
+			select {
+			case it.tasks <- i:
+			case <-it.done:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		it.wg.Add(1)
+		go func() {
+			defer it.wg.Done()
+			for i := range it.tasks {
+				paths, err := run(i)
+				select {
+				case it.out <- srcResult{idx: i, paths: paths, err: err}:
+				case <-it.done:
+					return
+				}
+			}
+		}()
+	}
+	return it
+}
+
+// Next implements PathIterator. It returns nil when exhausted or when a
+// source failed; check Err afterwards.
+func (it *MultiSourceIter) Next() *Path {
+	for {
+		if it.err != nil {
+			return nil
+		}
+		if it.ci < len(it.cur) {
+			p := it.cur[it.ci]
+			it.ci++
+			return p
+		}
+		if it.next >= it.n {
+			return nil
+		}
+		// Advance to the next source in merge order, buffering any
+		// results that arrive out of order.
+		for {
+			if r, ok := it.pending[it.next]; ok {
+				delete(it.pending, it.next)
+				it.admit(r)
+				break
+			}
+			r := <-it.out
+			<-it.sem // one more source may be dispatched
+			if r.idx == it.next {
+				it.admit(r)
+				break
+			}
+			it.pending[r.idx] = r
+		}
+	}
+}
+
+func (it *MultiSourceIter) admit(r srcResult) {
+	it.next++
+	it.cur, it.ci = r.paths, 0
+	if r.err != nil {
+		it.err = r.err
+		it.cur = nil
+		it.Close()
+	}
+}
+
+// Err returns the first per-source error, mirroring the SPScan kernel's
+// error surface (errors cannot flow through Next's *Path result).
+func (it *MultiSourceIter) Err() error { return it.err }
+
+// Close cancels undispatched sources and blocks until every worker has
+// exited, so no traversal can still be reading the topology when the
+// caller releases the engine's shared lock. It is idempotent and safe to
+// call after exhaustion.
+func (it *MultiSourceIter) Close() {
+	it.once.Do(func() { close(it.done) })
+	it.wg.Wait()
+}

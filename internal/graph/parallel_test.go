@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chain builds 0 -> 1 -> ... -> n-1.
+func chainGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New("chain", true)
+	for i := 0; i < n; i++ {
+		if _, err := g.AddVertex(int64(i), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := g.AddEdge(int64(i), int64(i), int64(i+1), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// drainSeq runs the per-source traversals sequentially, the golden order.
+func drainSeq(g *Graph, starts []*Vertex, spec func(*Vertex) Spec) []*Path {
+	var out []*Path
+	for _, s := range starts {
+		it := NewBFS(g, spec(s))
+		for p := it.Next(); p != nil; p = it.Next() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func pathsEqual(a, b []*Path) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("path count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return fmt.Errorf("path %d: %s != %s", i, a[i].String(), b[i].String())
+		}
+	}
+	return nil
+}
+
+// TestMultiSourceMatchesSequential checks the determinism contract: the
+// parallel merge yields exactly the sequential concatenation, for every
+// worker count, even when workers finish out of order.
+func TestMultiSourceMatchesSequential(t *testing.T) {
+	g := chainGraph(t, 40)
+	var starts []*Vertex
+	g.Vertices(func(v *Vertex) bool { starts = append(starts, v); return true })
+	spec := func(s *Vertex) Spec { return Spec{Start: s, MinLen: 1, MaxLen: 4} }
+	want := drainSeq(g, starts, spec)
+
+	for _, workers := range []int{1, 2, 3, 4, 8, 64} {
+		it := RunMultiSource(len(starts), workers, func(i int) ([]*Path, error) {
+			// Jitter completion order so the merge has to reorder.
+			time.Sleep(time.Duration(i%3) * time.Millisecond / 4)
+			var out []*Path
+			bfs := NewBFS(g, spec(starts[i]))
+			for p := bfs.Next(); p != nil; p = bfs.Next() {
+				out = append(out, p)
+			}
+			return out, nil
+		})
+		var got []*Path
+		for p := it.Next(); p != nil; p = it.Next() {
+			got = append(got, p)
+		}
+		it.Close()
+		if err := it.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := pathsEqual(want, got); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestMultiSourceError checks that a failing source surfaces through Err,
+// that every path of earlier sources is still yielded first, and that
+// Close leaves no goroutine stuck.
+func TestMultiSourceError(t *testing.T) {
+	g := chainGraph(t, 10)
+	var starts []*Vertex
+	g.Vertices(func(v *Vertex) bool { starts = append(starts, v); return true })
+	boom := errors.New("boom")
+	const failAt = 5
+	it := RunMultiSource(len(starts), 4, func(i int) ([]*Path, error) {
+		if i == failAt {
+			return nil, boom
+		}
+		var out []*Path
+		bfs := NewBFS(g, Spec{Start: starts[i], MinLen: 1, MaxLen: 2})
+		for p := bfs.Next(); p != nil; p = bfs.Next() {
+			out = append(out, p)
+		}
+		return out, nil
+	})
+	var got []*Path
+	for p := it.Next(); p != nil; p = it.Next() {
+		got = append(got, p)
+	}
+	if !errors.Is(it.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", it.Err(), boom)
+	}
+	want := drainSeq(g, starts[:failAt], func(s *Vertex) Spec {
+		return Spec{Start: s, MinLen: 1, MaxLen: 2}
+	})
+	if err := pathsEqual(want, got); err != nil {
+		t.Fatalf("prefix before error: %v", err)
+	}
+	it.Close() // idempotent after the error-triggered Close
+}
+
+// TestMultiSourceEarlyClose abandons the iterator mid-stream (the LIMIT
+// case) and checks Close returns with all workers stopped.
+func TestMultiSourceEarlyClose(t *testing.T) {
+	g := chainGraph(t, 200)
+	var starts []*Vertex
+	g.Vertices(func(v *Vertex) bool { starts = append(starts, v); return true })
+	it := RunMultiSource(len(starts), 4, func(i int) ([]*Path, error) {
+		var out []*Path
+		bfs := NewBFS(g, Spec{Start: starts[i], MinLen: 1, MaxLen: 8})
+		for p := bfs.Next(); p != nil; p = bfs.Next() {
+			out = append(out, p)
+		}
+		return out, nil
+	})
+	if p := it.Next(); p == nil {
+		t.Fatal("expected at least one path")
+	}
+	done := make(chan struct{})
+	go func() { it.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return: worker leak")
+	}
+}
+
+// TestMultiSourceEmpty covers n == 0.
+func TestMultiSourceEmpty(t *testing.T) {
+	it := RunMultiSource(0, 4, func(i int) ([]*Path, error) {
+		t.Error("run called for empty source set")
+		return nil, nil
+	})
+	if p := it.Next(); p != nil {
+		t.Fatalf("unexpected path %v", p)
+	}
+	it.Close()
+}

@@ -212,6 +212,14 @@ func (p *Planner) attachPathScan(s *sql.Select, tree exec.Operator, fi *fromInfo
 	if err := p.choosePhysical(s, fi, &spec); err != nil {
 		return nil, err
 	}
+
+	// Multi-source scans — no start binding, so the traversal fans out of
+	// every vertex — are marked parallelizable: the per-source traversals
+	// are independent, and the ParallelPathScan merges their results in
+	// source order, so the plan stays deterministic at any worker count.
+	// Single-source probes keep the sequential kernel (nothing to fan out).
+	spec.Parallel = spec.StartExpr == nil
+
 	return exec.NewPathProbeJoin(tree, spec, nil), nil
 }
 

@@ -1,0 +1,25 @@
+package plan
+
+import (
+	"grfusion/internal/sql"
+)
+
+// ReadOnly classifies a parsed statement for the engine's reader/writer
+// protocol. Read-only statements — SELECT (over plain relations as well as
+// the VERTEXES/EDGES/PATHS graph-view facets), EXPLAIN, and SHOW — never
+// mutate catalog, storage, or graph-view topology, so the engine may run
+// any number of them concurrently under a shared lock. Everything else
+// (DML, DDL, TRUNCATE) takes exclusive access, keeping graph-view
+// maintenance (§3.3) transactionally serialized exactly as in the paper's
+// single-threaded partition model.
+//
+// The classification is deliberately conservative: unknown statement types
+// report false and fall back to exclusive execution.
+func ReadOnly(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Explain, *sql.Show:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"grfusion/internal/core"
+)
+
+// startStressServer brings up a server over an engine preloaded with a
+// small social graph and a traversal worker pool, so concurrent sessions
+// exercise both the shared-read lock and the parallel PathScan.
+func startStressServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	eng := core.New(core.Options{Workers: 4})
+	script := `
+		CREATE TABLE V (vid BIGINT PRIMARY KEY, name VARCHAR);
+		CREATE TABLE E (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT);
+	`
+	if _, err := eng.ExecuteScript(script); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := eng.Execute(fmt.Sprintf(`INSERT INTO V VALUES (%d, 'v%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eid := 0
+	for i := 0; i < 30; i++ {
+		for _, d := range []int{1, 3} {
+			if i+d < 30 {
+				if _, err := eng.Execute(fmt.Sprintf(`INSERT INTO E VALUES (%d, %d, %d)`, eid, i, i+d)); err != nil {
+					t.Fatal(err)
+				}
+				eid++
+			}
+		}
+	}
+	if _, err := eng.Execute(`CREATE DIRECTED GRAPH VIEW G
+		VERTEXES(ID = vid, name = name) FROM V
+		EDGES(ID = eid, FROM = src, TO = dst) FROM E`); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+// TestConcurrentClientStress runs N client sessions mixing multi-source
+// reads, point reachability probes, and DML churn against the same graph
+// view. It asserts: read results stay internally consistent (a traversal
+// never observes a half-applied topology change), DML round-trips leave
+// the store back at its base state, and everything drains without
+// deadlock under the reader/writer protocol. CI runs this under -race.
+func TestConcurrentClientStress(t *testing.T) {
+	_, addr := startStressServer(t)
+
+	const (
+		readers = 6
+		writers = 2
+		iters   = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+
+	// The multi-source reachability query: every emitted path must be a
+	// real path of the current topology, so row counts can vary with DML
+	// but malformed rows or errors cannot occur.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				res, err := c.Exec(`SELECT PS FROM G.Paths PS WHERE PS.Length <= 2`)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				// With 30 vertexes there are always at least the 56 base
+				// length-1 paths plus the base length-2 paths; DML only
+				// ever adds or removes the writer's private edges, so the
+				// base paths must always be present.
+				if len(res.Rows) < 56 {
+					errs <- fmt.Errorf("reader %d: torn read, only %d paths", g, len(res.Rows))
+					return
+				}
+				res, err = c.Exec(`SELECT PS FROM G.Paths PS WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 9 LIMIT 1`)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d probe: %v", g, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					errs <- fmt.Errorf("reader %d: vertex 9 unreachable from 0 (%d rows)", g, len(res.Rows))
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Writers churn private edge-id ranges so they never conflict with
+	// each other; every insert is eventually deleted.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				id := 10000 + w*1000 + i
+				if _, err := c.Exec(fmt.Sprintf(`INSERT INTO E VALUES (%d, 2, 25)`, id)); err != nil {
+					errs <- fmt.Errorf("writer %d insert: %v", w, err)
+					return
+				}
+				if _, err := c.Exec(fmt.Sprintf(`DELETE FROM E WHERE eid = %d`, id)); err != nil {
+					errs <- fmt.Errorf("writer %d delete: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("deadlock: stress clients did not drain")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Base state restored: 56 edges, and the graph view agrees.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec(`SELECT COUNT(*) FROM E`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 56 {
+		t.Fatalf("edge count after churn: %v", res.Rows[0][0])
+	}
+	res, err = c.Exec(`SELECT COUNT(*) FROM G.Edges E2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 56 {
+		t.Fatalf("graph-view edge facet after churn: %v", res.Rows[0][0])
+	}
+}
