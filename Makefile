@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench fmt vet clean
+.PHONY: all build test race fuzz bench oracle fmt vet clean
 
 all: build test
 
@@ -18,6 +18,13 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/sql
 
+# Differential/metamorphic correctness oracle: randomized graph-view
+# workloads cross-checked against independent baselines. On a violation it
+# writes ORACLE_repro.sql and prints a one-line seed repro. CI runs the
+# same harness under -race with a wall-clock budget.
+oracle:
+	$(GO) run ./cmd/grbench -experiment oracle -seed 42 -duration 30s
+
 # Sequential-vs-parallel traversal timings; emits the perf-trajectory
 # artifact CI uploads on every run.
 bench:
@@ -31,4 +38,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_concurrency.json
+	rm -f BENCH_concurrency.json ORACLE_repro.sql

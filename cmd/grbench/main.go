@@ -6,6 +6,13 @@
 //	grbench -list
 //	grbench -exp fig7 -scale 1.0 -queries 10
 //	grbench -exp all -scale 0.5
+//	grbench -experiment oracle -seed 42 -duration 30s
+//
+// The oracle experiment runs the differential/metamorphic correctness
+// harness (internal/oracle) instead of a benchmark: randomized DML + PATHS
+// workloads cross-checked against independent reference implementations.
+// On failure it writes ORACLE_repro.sql, prints a one-line repro command,
+// and exits 1.
 package main
 
 import (
@@ -17,20 +24,28 @@ import (
 	"time"
 
 	"grfusion/internal/bench"
+	"grfusion/internal/oracle"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, all)")
-		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		queries = flag.Int("queries", 10, "query instances averaged per data point")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		hops    = flag.Int("maxhops", 8, "deepest traversal attempted by the SQLGraph baseline")
-		mem     = flag.Int64("mem", 0, "intermediate-memory budget for VoltDB-style runs (bytes, 0 = default)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.String("json", "", "also write rows with run metadata to this JSON file (e.g. BENCH_concurrency.json)")
+		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, oracle, all)")
+		expAlias = flag.String("experiment", "", "alias for -exp")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries  = flag.Int("queries", 10, "query instances averaged per data point")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		hops     = flag.Int("maxhops", 8, "deepest traversal attempted by the SQLGraph baseline")
+		mem      = flag.Int64("mem", 0, "intermediate-memory budget for VoltDB-style runs (bytes, 0 = default)")
+		duration = flag.Duration("duration", 0, "oracle: wall-clock budget (0 = use -rounds)")
+		rounds   = flag.Int("rounds", 0, "oracle: exact round count (0 = run until -duration)")
+		workers  = flag.Int("workers", 2, "oracle: engine worker-pool size")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.String("json", "", "also write rows with run metadata to this JSON file (e.g. BENCH_concurrency.json)")
 	)
 	flag.Parse()
+	if *expAlias != "" {
+		*exp = *expAlias
+	}
 
 	if *list {
 		ids := make([]string, 0, len(bench.Experiments))
@@ -38,9 +53,14 @@ func main() {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
-		fmt.Println("experiments:", strings.Join(ids, ", "), "(or: all)")
+		fmt.Println("experiments:", strings.Join(ids, ", "), "(or: all, oracle)")
 		return
 	}
+
+	if *exp == "oracle" {
+		os.Exit(runOracle(*seed, *rounds, *duration, *workers))
+	}
+
 	cfg := bench.Config{
 		Scale:       *scale,
 		Queries:     *queries,
@@ -70,4 +90,65 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+}
+
+// runOracle drives the correctness harness and returns the process exit
+// code: 0 when every check passed, 1 when a violation was found.
+func runOracle(seed int64, rounds int, duration time.Duration, workers int) int {
+	if rounds == 0 && duration == 0 {
+		duration = 5 * time.Second
+	}
+	cfg := oracle.Config{
+		Seed:     seed,
+		Rounds:   rounds,
+		Duration: duration,
+		Workers:  workers,
+		Log:      os.Stderr,
+	}
+	rep, err := oracle.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grbench oracle: %v\n", err)
+		return 2
+	}
+	fmt.Printf("oracle: %d rounds, %d statements, %d check batches in %s\n",
+		rep.Rounds, rep.Statements, rep.Batches, rep.Elapsed.Round(time.Millisecond))
+	if len(rep.Violations) == 0 {
+		fmt.Println("oracle: 0 violations")
+		return 0
+	}
+	v := rep.Violations[0]
+	fmt.Printf("oracle: VIOLATION %s\n", v)
+	if err := writeRepro("ORACLE_repro.sql", v); err != nil {
+		fmt.Fprintf(os.Stderr, "grbench oracle: write repro: %v\n", err)
+	} else {
+		fmt.Println("oracle: wrote ORACLE_repro.sql")
+	}
+	fmt.Printf("REPRO: go run ./cmd/grbench -experiment oracle -seed %d -rounds 1\n", v.Seed)
+	return 1
+}
+
+// writeRepro renders a violation as a self-contained SQL script: a comment
+// header with the diagnosis and repro command, the scenario setup, and the
+// minimized statement log (falling back to the full log).
+func writeRepro(path string, v *oracle.Violation) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- oracle violation: %s\n", v.Check)
+	fmt.Fprintf(&b, "-- detail: %s\n", v.Detail)
+	fmt.Fprintf(&b, "-- round seed: %d (batch %d)\n", v.Seed, v.Batch)
+	fmt.Fprintf(&b, "-- repro: go run ./cmd/grbench -experiment oracle -seed %d -rounds 1\n", v.Seed)
+	b.WriteString("\n-- setup\n")
+	for _, s := range v.SetupSQL {
+		b.WriteString(s)
+		b.WriteString(";\n")
+	}
+	stmts := v.Minimized
+	if len(stmts) == 0 {
+		stmts = v.Statements
+	}
+	fmt.Fprintf(&b, "\n-- workload (%d of %d recorded statements)\n", len(stmts), len(v.Statements))
+	for _, s := range stmts {
+		b.WriteString(s)
+		b.WriteString(";\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

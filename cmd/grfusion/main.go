@@ -18,6 +18,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -88,15 +89,21 @@ func main() {
 		}
 	}
 
-	fmt.Println("GRFusion shell — graph-relational SQL. End statements with ';', \\q quits.")
-	sc := bufio.NewScanner(os.Stdin)
+	runShell(db, exec, os.Stdin, os.Stdout)
+}
+
+// runShell drives the read-eval-print loop. It is split from main (and
+// parameterized over in/out) so scripted sessions can be tested.
+func runShell(db *grfusion.DB, exec executor, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, "GRFusion shell — graph-relational SQL. End statements with ';', \\q quits.")
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
-			fmt.Print("grfusion> ")
+			fmt.Fprint(out, "grfusion> ")
 		} else {
-			fmt.Print("      ...> ")
+			fmt.Fprint(out, "      ...> ")
 		}
 	}
 	prompt()
@@ -104,7 +111,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if handleMeta(db, trimmed) {
+			if handleMeta(out, db, trimmed) {
 				return
 			}
 			prompt()
@@ -113,7 +120,7 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			execute(exec, buf.String())
+			execute(out, exec, buf.String())
 			buf.Reset()
 		}
 		prompt()
@@ -122,10 +129,10 @@ func main() {
 
 // handleMeta executes a backslash command, reporting whether to quit.
 // Snapshot/script/explain commands require embedded mode (db non-nil).
-func handleMeta(db *grfusion.DB, cmd string) bool {
+func handleMeta(out io.Writer, db *grfusion.DB, cmd string) bool {
 	fields := strings.Fields(cmd)
 	if fields[0] != "\\q" && fields[0] != "\\quit" && db == nil {
-		fmt.Println("command", fields[0], "requires embedded mode (no -connect)")
+		fmt.Fprintln(out, "command", fields[0], "requires embedded mode (no -connect)")
 		return false
 	}
 	switch fields[0] {
@@ -134,13 +141,13 @@ func handleMeta(db *grfusion.DB, cmd string) bool {
 	case "\\explain":
 		text, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain")))
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			return false
 		}
-		fmt.Print(text)
+		fmt.Fprint(out, text)
 	case "\\save":
 		if len(fields) != 2 {
-			fmt.Println("usage: \\save <file>")
+			fmt.Fprintln(out, "usage: \\save <file>")
 			return false
 		}
 		f, err := os.Create(fields[1])
@@ -151,30 +158,30 @@ func handleMeta(db *grfusion.DB, cmd string) bool {
 			}
 		}
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		} else {
-			fmt.Println("snapshot written to", fields[1])
+			fmt.Fprintln(out, "snapshot written to", fields[1])
 		}
 	case "\\load":
 		if len(fields) != 2 {
-			fmt.Println("usage: \\load <file>")
+			fmt.Fprintln(out, "usage: \\load <file>")
 			return false
 		}
 		if err := restoreFile(db, fields[1]); err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		} else {
-			fmt.Println("snapshot restored from", fields[1])
+			fmt.Fprintln(out, "snapshot restored from", fields[1])
 		}
 	case "\\i":
 		if len(fields) != 2 {
-			fmt.Println("usage: \\i <file>")
+			fmt.Fprintln(out, "usage: \\i <file>")
 			return false
 		}
 		if err := runScript(db, fields[1]); err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		}
 	default:
-		fmt.Println("unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i)")
+		fmt.Fprintln(out, "unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i)")
 	}
 	return false
 }
@@ -196,23 +203,23 @@ func runScript(db *grfusion.DB, path string) error {
 	return db.ExecScript(string(data))
 }
 
-func execute(exec executor, stmt string) {
+func execute(out io.Writer, exec executor, stmt string) {
 	start := time.Now()
 	res, err := exec.Exec(stmt)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
 	elapsed := time.Since(start).Round(time.Microsecond)
 	if res.Columns == nil {
-		fmt.Printf("ok (%d row(s) affected, %s)\n", res.Affected, elapsed)
+		fmt.Fprintf(out, "ok (%d row(s) affected, %s)\n", res.Affected, elapsed)
 		return
 	}
-	printTable(res)
-	fmt.Printf("(%d row(s), %s)\n", len(res.Rows), elapsed)
+	printTable(out, res)
+	fmt.Fprintf(out, "(%d row(s), %s)\n", len(res.Rows), elapsed)
 }
 
-func printTable(res *grfusion.Result) {
+func printTable(out io.Writer, res *grfusion.Result) {
 	widths := make([]int, len(res.Columns))
 	for i, c := range res.Columns {
 		widths[i] = len(c)
@@ -230,12 +237,12 @@ func printTable(res *grfusion.Result) {
 	}
 	line := func(parts []string) {
 		for i, p := range parts {
-			fmt.Printf(" %-*s", widths[i], p)
+			fmt.Fprintf(out, " %-*s", widths[i], p)
 			if i < len(parts)-1 {
-				fmt.Print(" |")
+				fmt.Fprint(out, " |")
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	line(res.Columns)
 	var sep []string

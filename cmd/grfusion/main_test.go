@@ -1,0 +1,108 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"grfusion"
+)
+
+// normalizeTiming strips the wall-clock portion of result footers like
+// "(3 row(s), 12µs)" so golden comparisons are stable.
+var timingRE = regexp.MustCompile(`, [0-9.]+(?:ns|µs|ms|m?s)\)`)
+
+func normalizeTiming(s string) string {
+	return timingRE.ReplaceAllString(s, ", <t>)")
+}
+
+// TestScriptedSession drives the shell end to end over an in-memory pipe:
+// DDL, DML, a graph view, a PATHS query, an error, a meta command, and \q.
+// The golden transcript pins the prompt/table rendering contract.
+func TestScriptedSession(t *testing.T) {
+	db := grfusion.Open(grfusion.Config{})
+	session := strings.Join([]string{
+		`CREATE TABLE V (vid BIGINT PRIMARY KEY, name VARCHAR);`,
+		`CREATE TABLE E (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE);`,
+		`INSERT INTO V VALUES (1, 'a'), (2, 'b'), (3, 'c');`,
+		`INSERT INTO E VALUES (10, 1, 2, 1), (11, 2, 3, 1);`,
+		`CREATE DIRECTED GRAPH VIEW G`,
+		`  VERTEXES(ID = vid, name = name) FROM V`,
+		`  EDGES(ID = eid, FROM = src, TO = dst, w = w) FROM E;`,
+		`SELECT VS.Id, VS.name, VS.FanOut FROM G.Vertexes VS;`,
+		`SELECT COUNT(*) FROM G.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 AND PS.Length <= 2;`,
+		`SELECT * FROM NoSuchTable;`,
+		`\nope`,
+		`\q`,
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	runShell(db, db, strings.NewReader(session), &out)
+	got := normalizeTiming(out.String())
+
+	want := strings.Join([]string{
+		"GRFusion shell — graph-relational SQL. End statements with ';', \\q quits.",
+		"grfusion> ok (0 row(s) affected, <t>)",
+		"grfusion> ok (0 row(s) affected, <t>)",
+		"grfusion> ok (3 row(s) affected, <t>)",
+		"grfusion> ok (2 row(s) affected, <t>)",
+		"grfusion>       ...>       ...> ok (0 row(s) affected, <t>)",
+		"grfusion>  Id | name | FanOut",
+		" -- | ---- | ------",
+		" 1  | a    | 1     ",
+		" 2  | b    | 1     ",
+		" 3  | c    | 0     ",
+		"(3 row(s), <t>)",
+		"grfusion>  COUNT(*)",
+		" --------",
+		" 1       ",
+		"(1 row(s), <t>)",
+		"grfusion> error: unknown table \"NoSuchTable\"",
+		"grfusion> unknown command \\nope (try \\q, \\explain, \\save, \\load, \\i)",
+		"grfusion> ",
+	}, "\n")
+	if got != want {
+		t.Errorf("session transcript mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSaveLoadRoundTrip snapshots a populated database from the shell and
+// restores it into a fresh one, checking the graph view survives.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "s.gob")
+	db := grfusion.Open(grfusion.Config{})
+	if err := db.ExecScript(`
+		CREATE TABLE V (vid BIGINT PRIMARY KEY, name VARCHAR);
+		CREATE TABLE E (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT);
+		INSERT INTO V VALUES (1, 'a'), (2, 'b');
+		INSERT INTO E VALUES (10, 1, 2);
+		CREATE DIRECTED GRAPH VIEW G VERTEXES(ID = vid, name = name) FROM V
+		EDGES(ID = eid, FROM = src, TO = dst) FROM E;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if handleMeta(&out, db, `\save `+snap) {
+		t.Fatal("\\save asked to quit")
+	}
+	if !strings.Contains(out.String(), "snapshot written") {
+		t.Fatalf("save failed: %s", out.String())
+	}
+
+	db2 := grfusion.Open(grfusion.Config{})
+	out.Reset()
+	if handleMeta(&out, db2, `\load `+snap) {
+		t.Fatal("\\load asked to quit")
+	}
+	if !strings.Contains(out.String(), "snapshot restored") {
+		t.Fatalf("load failed: %s", out.String())
+	}
+	res, err := db2.Exec(`SELECT COUNT(*) FROM G.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.Length <= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "1" {
+		t.Fatalf("restored view lost its topology: %+v", res.Rows)
+	}
+}

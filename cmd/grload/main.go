@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"grfusion/internal/bench"
@@ -38,7 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *sqlF != "" {
-		out := os.Stdout
+		var out io.Writer = os.Stdout
 		if *sqlF != "-" {
 			f, err := os.Create(*sqlF)
 			if err != nil {
@@ -74,7 +75,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func writeSQL(out *os.File, d *datagen.Dataset) {
+func writeSQL(out io.Writer, d *datagen.Dataset) {
 	fmt.Fprintf(out, "CREATE TABLE %s_v (vid BIGINT PRIMARY KEY, name VARCHAR);\n", d.Name)
 	fmt.Fprintf(out, "CREATE TABLE %s_e (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE, sel BIGINT, lbl VARCHAR);\n", d.Name)
 	const batch = 256

@@ -166,30 +166,49 @@ func (gv *GraphView) buildSchemas() {
 }
 
 func (gv *GraphView) build() error {
-	gv.G = graph.New(gv.Name, gv.Directed)
+	g, err := gv.RebuildTopology()
+	if err != nil {
+		return err
+	}
+	gv.G = g
+	return nil
+}
+
+// RebuildTopology reconstructs a fresh topology from the current contents
+// of the relational sources with the same single pass CREATE GRAPH VIEW
+// uses (§3.2), without touching the live topology. The differential-testing
+// oracle diffs the result against the incrementally maintained G to verify
+// the §3.3 online-maintenance invariant: maintained topology ≡ rebuilt
+// topology after any DML history.
+func (gv *GraphView) RebuildTopology() (*graph.Graph, error) {
+	g := graph.New(gv.Name, gv.Directed)
 	var err error
 	gv.vtab.Scan(func(id storage.RowID, row types.Row) bool {
 		var vid int64
 		vid, err = intAttr(row, gv.vIDPos, "vertex ID")
 		if err == nil {
-			_, err = gv.G.AddVertex(vid, uint64(id))
+			_, err = g.AddVertex(vid, uint64(id))
 		}
 		return err == nil
 	})
 	if err != nil {
-		return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		return nil, fmt.Errorf("graph view %s: %v", gv.Name, err)
 	}
 	gv.etab.Scan(func(id storage.RowID, row types.Row) bool {
-		err = gv.addEdgeFromRow(id, row)
+		err = addEdgeFromRowInto(g, gv, id, row)
 		return err == nil
 	})
 	if err != nil {
-		return fmt.Errorf("graph view %s: %v", gv.Name, err)
+		return nil, fmt.Errorf("graph view %s: %v", gv.Name, err)
 	}
-	return nil
+	return g, nil
 }
 
 func (gv *GraphView) addEdgeFromRow(id storage.RowID, row types.Row) error {
+	return addEdgeFromRowInto(gv.G, gv, id, row)
+}
+
+func addEdgeFromRowInto(g *graph.Graph, gv *GraphView, id storage.RowID, row types.Row) error {
 	eid, err := intAttr(row, gv.eIDPos, "edge ID")
 	if err != nil {
 		return err
@@ -202,7 +221,7 @@ func (gv *GraphView) addEdgeFromRow(id storage.RowID, row types.Row) error {
 	if err != nil {
 		return err
 	}
-	_, err = gv.G.AddEdge(eid, from, to, uint64(id))
+	_, err = g.AddEdge(eid, from, to, uint64(id))
 	return err
 }
 
@@ -431,11 +450,19 @@ func (gv *GraphView) OnInsert(table string, id storage.RowID, row types.Row) err
 	return nil
 }
 
+// DebugSkipEdgeDelete, when true, makes OnDelete skip removing deleted
+// edges from the topology — a deliberately broken §3.3 maintenance path.
+// It exists ONLY so the differential-testing oracle can prove its
+// rebuild-from-scratch maintenance check catches real maintenance bugs
+// (internal/oracle injects it and asserts a violation surfaces within one
+// run). Never set it outside tests.
+var DebugSkipEdgeDelete bool
+
 // OnDelete maintains the topology after a tuple is deleted from table.
 // Vertex deletions expect the engine to have cascaded incident edge tuples
 // first (via IncidentEdges); any edges still present are removed here.
 func (gv *GraphView) OnDelete(table string, row types.Row) error {
-	if gv.IsEdgeSource(table) {
+	if gv.IsEdgeSource(table) && !DebugSkipEdgeDelete {
 		eid, err := intAttr(row, gv.eIDPos, "edge ID")
 		if err != nil {
 			return fmt.Errorf("graph view %s: %v", gv.Name, err)
@@ -498,6 +525,13 @@ func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow typ
 		if oldFrom != newFrom || oldTo != newTo {
 			gv.G.RemoveEdge(newID)
 			if _, err := gv.G.AddEdge(newID, newFrom, newTo, uint64(id)); err != nil {
+				// Rejected rewire (e.g. dangling endpoint): restore the old
+				// embedding so the aborted statement leaves the topology
+				// exactly as it was.
+				if _, rerr := gv.G.AddEdge(newID, oldFrom, oldTo, uint64(id)); rerr != nil {
+					return fmt.Errorf("graph view %s: %v (topology restore also failed: %v)",
+						gv.Name, err, rerr)
+				}
 				return fmt.Errorf("graph view %s: %v", gv.Name, err)
 			}
 		}

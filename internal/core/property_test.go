@@ -204,6 +204,94 @@ func TestAllPathsCountPhysicalEquivalence(t *testing.T) {
 	}
 }
 
+// Property: the GV.VERTEXES projection — including the computed FanOut and
+// FanIn properties — agrees with the kernel's degrees on random graphs, and
+// keeps agreeing after random edge deletions re-maintain the topology.
+func TestVertexesFacetMatchesKernel(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 1000
+		e, ref := randomGraphEngine(t, 14, 26, s)
+		rng := rand.New(rand.NewSource(s + 11))
+		check := func() bool {
+			res := mustExecTB(t, e, `SELECT VS.Id, VS.FanOut, VS.FanIn FROM G.Vertexes VS`)
+			if len(res.Rows) != ref.NumVertices() {
+				t.Logf("seed %d: VERTEXES has %d rows, kernel %d", s, len(res.Rows), ref.NumVertices())
+				return false
+			}
+			for _, r := range res.Rows {
+				v := ref.Vertex(r[0].I)
+				if v == nil {
+					t.Logf("seed %d: VERTEXES emitted unknown vertex %d", s, r[0].I)
+					return false
+				}
+				if int(r[1].I) != ref.FanOut(v) || int(r[2].I) != ref.FanIn(v) {
+					t.Logf("seed %d: vertex %d degrees sql=(%d,%d) kernel=(%d,%d)",
+						s, v.ID, r[1].I, r[2].I, ref.FanOut(v), ref.FanIn(v))
+					return false
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		// Deleting edges re-maintains the adjacency lists; degrees must track.
+		for i := 0; i < 8; i++ {
+			eid := rng.Int63n(26)
+			mustExecTB(t, e, fmt.Sprintf("DELETE FROM E WHERE eid = %d", eid))
+			ref.RemoveEdge(eid)
+		}
+		return check()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the GV.EDGES projection dereferences every tuple pointer back
+// into the edges relational-source correctly — each emitted (ID, w) row
+// matches the base table, row for row.
+func TestEdgesFacetMatchesBaseTable(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := seed % 1000
+		e, ref := randomGraphEngine(t, 14, 26, s)
+		rng := rand.New(rand.NewSource(s + 13))
+		// Random attribute updates and deletions first: facet rows must read
+		// through tuple pointers into the *current* relational state.
+		for i := 0; i < 6; i++ {
+			eid := rng.Int63n(26)
+			if rng.Intn(2) == 0 {
+				mustExecTB(t, e, fmt.Sprintf("UPDATE E SET w = %d WHERE eid = %d", rng.Int63n(100), eid))
+			} else {
+				mustExecTB(t, e, fmt.Sprintf("DELETE FROM E WHERE eid = %d", eid))
+				ref.RemoveEdge(eid)
+			}
+		}
+		base := map[int64]string{}
+		for _, r := range render(mustExecTB(t, e, `SELECT eid, w FROM E`)) {
+			var id int64
+			fmt.Sscanf(r[0], "%d", &id)
+			base[id] = r[0] + "|" + r[1]
+		}
+		res := mustExecTB(t, e, `SELECT ES.ID, ES.w FROM G.Edges ES`)
+		if len(res.Rows) != ref.NumEdges() || len(res.Rows) != len(base) {
+			t.Logf("seed %d: EDGES has %d rows, kernel %d, base table %d",
+				s, len(res.Rows), ref.NumEdges(), len(base))
+			return false
+		}
+		for _, r := range res.Rows {
+			if got := r[0].String() + "|" + r[1].String(); base[r[0].I] != got {
+				t.Logf("seed %d: edge %d facet %q base %q", s, r[0].I, got, base[r[0].I])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: after any random mix of DML on the base table, a materialized
 // view's contents equal a fresh recomputation of its definition.
 func TestMatViewConsistencyUnderRandomDML(t *testing.T) {

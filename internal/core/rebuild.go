@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"grfusion/internal/graph"
+)
+
+// This file holds the engine hooks the differential-testing oracle
+// (internal/oracle) drives: forcing a graph-view rebuild for the §3.3
+// maintenance oracle and resizing the traversal worker pool for the
+// worker-count metamorphic relation. Both are ordinary public API — they
+// take the statement locks like any statement — but exist for testing, not
+// for applications.
+
+// RebuildGraphView reconstructs the named graph view's topology from the
+// current contents of its relational sources and returns the fresh graph
+// WITHOUT replacing the live, incrementally maintained topology. The §3.3
+// maintenance invariant says the two must be identical after any DML
+// history; the oracle diffs them after every randomized DML batch.
+func (e *Engine) RebuildGraphView(name string) (*graph.Graph, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	gv, ok := e.cat.GraphView(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown graph view %q", name)
+	}
+	return gv.RebuildTopology()
+}
+
+// GraphTopology returns the live, incrementally maintained topology of the
+// named graph view, for direct structural comparison against a rebuild.
+// Callers must not mutate it and must not retain it across DML.
+func (e *Engine) GraphTopology(name string) (*graph.Graph, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	gv, ok := e.cat.GraphView(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown graph view %q", name)
+	}
+	return gv.G, nil
+}
+
+// SetWorkers resizes the multi-source traversal worker pool (see
+// Options.Workers). The oracle uses it to check that query results are
+// byte-identical at any worker count.
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.Workers = n
+}

@@ -190,6 +190,36 @@ func Twitter(n, m int, seed int64) *Dataset {
 	return d
 }
 
+// Uniform generates an Erdős–Rényi style graph: m edges with uniformly
+// random distinct endpoints (no self-loops). It is the shape the
+// differential-testing oracle mutates — no structural signature, maximal
+// variety per seed. Weights are integer-valued so cross-engine
+// shortest-path cost comparisons are exact.
+func Uniform(n, m int, directed bool, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "uniform", Directed: directed}
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		d.Vertices = append(d.Vertices, Vertex{ID: int64(i), Name: fmt.Sprintf("v%d", i)})
+	}
+	for eid := int64(0); eid < int64(m); eid++ {
+		src := rng.Int63n(int64(n))
+		dst := rng.Int63n(int64(n))
+		if src == dst {
+			dst = (dst + 1) % int64(n)
+		}
+		d.Edges = append(d.Edges, Edge{
+			ID: eid, Src: src, Dst: dst,
+			Weight: float64(1 + rng.Intn(9)),
+			Sel:    rng.Int63n(100),
+			Label:  Labels[rng.Intn(len(Labels))],
+		})
+	}
+	return d
+}
+
 // preferential builds a Barabási–Albert style graph. Each new vertex
 // attaches m edges to targets sampled proportionally to degree.
 func preferential(n, m int, directed bool, seed int64) *Dataset {

@@ -1,0 +1,382 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file generates randomized DML workloads over a graph dataset: the
+// interleaved insert/delete/update streams the differential-testing oracle
+// (internal/oracle) drives through the engine while cross-checking every
+// query answer. GraphState is the pure-Go ground truth the oracle compares
+// engines against; Mutation is one logical DML operation that the oracle
+// renders to SQL and GraphState mirrors with the engine's transactional
+// semantics (§3.3): vertex deletes cascade onto incident edges, vertex-id
+// renames rewrite edge endpoints, and deliberately invalid statements
+// (WantErr) must fail atomically and leave no trace.
+
+// MutationKind enumerates the DML operations of the oracle workloads.
+type MutationKind uint8
+
+// Mutation kinds.
+const (
+	// MutInsertVertex inserts a fresh vertex.
+	MutInsertVertex MutationKind = iota
+	// MutInsertEdge inserts an edge between live vertexes.
+	MutInsertEdge
+	// MutDeleteVertex deletes a vertex; incident edges cascade (§3.3.2).
+	MutDeleteVertex
+	// MutDeleteEdge deletes one edge.
+	MutDeleteEdge
+	// MutRewireEdge updates an edge's endpoints in place.
+	MutRewireEdge
+	// MutEdgeAttr updates an edge's non-topology attributes (sel, w).
+	MutEdgeAttr
+	// MutRenameVertex changes a vertex identifier; the engine must rewrite
+	// referencing edge tuples to preserve referential integrity (§3.3.1).
+	MutRenameVertex
+	// MutRenameEdge changes an edge identifier.
+	MutRenameEdge
+)
+
+// String names the kind for logs and violation reports.
+func (k MutationKind) String() string {
+	switch k {
+	case MutInsertVertex:
+		return "insert-vertex"
+	case MutInsertEdge:
+		return "insert-edge"
+	case MutDeleteVertex:
+		return "delete-vertex"
+	case MutDeleteEdge:
+		return "delete-edge"
+	case MutRewireEdge:
+		return "rewire-edge"
+	case MutEdgeAttr:
+		return "edge-attr"
+	case MutRenameVertex:
+		return "rename-vertex"
+	case MutRenameEdge:
+		return "rename-edge"
+	default:
+		return fmt.Sprintf("mutation(%d)", k)
+	}
+}
+
+// Mutation is one logical DML operation.
+type Mutation struct {
+	Kind MutationKind
+	// WantErr marks a deliberately invalid statement (duplicate identifier,
+	// dangling endpoint): the engine must reject it and roll back
+	// atomically. Valid only at generation time — a replay that drops
+	// earlier statements may change whether the statement fails.
+	WantErr bool
+	// V is the vertex payload of MutInsertVertex/MutDeleteVertex.
+	V Vertex
+	// E is the edge payload of the edge mutations: the full new image for
+	// inserts, the identifying ID plus new endpoints/attributes for
+	// rewires and attribute updates.
+	E Edge
+	// OldID and NewID parameterize the rename mutations.
+	OldID, NewID int64
+}
+
+// GraphState is the evolving ground-truth graph a DML workload runs over.
+type GraphState struct {
+	Directed bool
+	Verts    map[int64]string // vertex id -> name
+	Edges    map[int64]Edge   // edge id -> full image (ID field kept in sync)
+
+	nextV, nextE int64
+}
+
+// NewGraphState captures a dataset as mutable ground truth.
+func NewGraphState(d *Dataset) *GraphState {
+	s := &GraphState{
+		Directed: d.Directed,
+		Verts:    make(map[int64]string, len(d.Vertices)),
+		Edges:    make(map[int64]Edge, len(d.Edges)),
+	}
+	for _, v := range d.Vertices {
+		s.Verts[v.ID] = v.Name
+		if v.ID >= s.nextV {
+			s.nextV = v.ID + 1
+		}
+	}
+	for _, e := range d.Edges {
+		s.Edges[e.ID] = e
+		if e.ID >= s.nextE {
+			s.nextE = e.ID + 1
+		}
+	}
+	return s
+}
+
+// VertexIDs returns the live vertex ids in ascending order.
+func (s *GraphState) VertexIDs() []int64 {
+	ids := make([]int64, 0, len(s.Verts))
+	for id := range s.Verts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EdgeIDs returns the live edge ids in ascending order.
+func (s *GraphState) EdgeIDs() []int64 {
+	ids := make([]int64, 0, len(s.Edges))
+	for id := range s.Edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dataset exports the current state as a Dataset (ids ascending), so the
+// oracle can rebuild reference engines and baseline stores from scratch.
+func (s *GraphState) Dataset(name string) *Dataset {
+	d := &Dataset{Name: name, Directed: s.Directed}
+	for _, id := range s.VertexIDs() {
+		d.Vertices = append(d.Vertices, Vertex{ID: id, Name: s.Verts[id]})
+	}
+	for _, id := range s.EdgeIDs() {
+		d.Edges = append(d.Edges, s.Edges[id])
+	}
+	return d
+}
+
+// FanOut returns the traversable out-degree of a vertex under the graph's
+// directedness (full degree for undirected graphs), matching
+// graph.(*Graph).FanOut over the materialized topology.
+func (s *GraphState) FanOut(id int64) int {
+	n := 0
+	for _, e := range s.Edges {
+		if e.Src == id {
+			n++
+		}
+		if !s.Directed && e.Dst == id {
+			n++
+		}
+	}
+	return n
+}
+
+// FanIn returns the in-degree (full degree for undirected graphs).
+func (s *GraphState) FanIn(id int64) int {
+	n := 0
+	for _, e := range s.Edges {
+		if e.Dst == id {
+			n++
+		}
+		if !s.Directed && e.Src == id {
+			n++
+		}
+	}
+	return n
+}
+
+// pick returns a uniformly random element of ids.
+func pick(rng *rand.Rand, ids []int64) int64 { return ids[rng.Intn(len(ids))] }
+
+// Mutate generates the next random mutation against the current state
+// without applying it. Roughly one in twelve mutations is a deliberately
+// invalid statement (WantErr). Generated edge weights are integer-valued
+// so cross-engine cost comparisons stay exact.
+func (s *GraphState) Mutate(rng *rand.Rand) Mutation {
+	verts := s.VertexIDs()
+	edges := s.EdgeIDs()
+
+	if rng.Intn(12) == 0 {
+		if m, ok := s.mutateInvalid(rng, verts, edges); ok {
+			return m
+		}
+	}
+
+	// Weighted kind choice, re-rolled when the state cannot support the
+	// kind (no edges to delete, too few vertexes to wire an edge).
+	for {
+		roll := rng.Intn(100)
+		switch {
+		case roll < 18: // insert vertex
+			id := s.nextV
+			return Mutation{Kind: MutInsertVertex, V: Vertex{ID: id, Name: fmt.Sprintf("v%d", id)}}
+		case roll < 44: // insert edge
+			if len(verts) < 2 {
+				continue
+			}
+			src, dst := pick(rng, verts), pick(rng, verts)
+			if src == dst { // self-loops excluded from oracle workloads
+				continue
+			}
+			return Mutation{Kind: MutInsertEdge, E: Edge{
+				ID: s.nextE, Src: src, Dst: dst,
+				Weight: float64(1 + rng.Intn(9)),
+				Sel:    rng.Int63n(100),
+				Label:  Labels[rng.Intn(len(Labels))],
+			}}
+		case roll < 64: // delete edge
+			if len(edges) == 0 {
+				continue
+			}
+			return Mutation{Kind: MutDeleteEdge, E: Edge{ID: pick(rng, edges)}}
+		case roll < 72: // delete vertex (cascades)
+			if len(verts) < 4 {
+				continue
+			}
+			id := pick(rng, verts)
+			return Mutation{Kind: MutDeleteVertex, V: Vertex{ID: id, Name: s.Verts[id]}}
+		case roll < 80: // rewire edge
+			if len(edges) == 0 || len(verts) < 2 {
+				continue
+			}
+			src, dst := pick(rng, verts), pick(rng, verts)
+			if src == dst {
+				continue
+			}
+			return Mutation{Kind: MutRewireEdge, E: Edge{ID: pick(rng, edges), Src: src, Dst: dst}}
+		case roll < 89: // update edge attributes
+			if len(edges) == 0 {
+				continue
+			}
+			return Mutation{Kind: MutEdgeAttr, E: Edge{
+				ID:     pick(rng, edges),
+				Weight: float64(1 + rng.Intn(9)),
+				Sel:    rng.Int63n(100),
+			}}
+		case roll < 95: // rename vertex
+			if len(verts) == 0 {
+				continue
+			}
+			old := pick(rng, verts)
+			id := s.nextV
+			return Mutation{Kind: MutRenameVertex, OldID: old, NewID: id}
+		default: // rename edge
+			if len(edges) == 0 {
+				continue
+			}
+			old := pick(rng, edges)
+			id := s.nextE
+			return Mutation{Kind: MutRenameEdge, OldID: old, NewID: id}
+		}
+	}
+}
+
+// mutateInvalid builds a statement that must fail atomically.
+func (s *GraphState) mutateInvalid(rng *rand.Rand, verts, edges []int64) (Mutation, bool) {
+	switch rng.Intn(4) {
+	case 0: // duplicate vertex id
+		if len(verts) == 0 {
+			return Mutation{}, false
+		}
+		id := pick(rng, verts)
+		return Mutation{Kind: MutInsertVertex, WantErr: true,
+			V: Vertex{ID: id, Name: "dup"}}, true
+	case 1: // edge with a dangling endpoint
+		if len(verts) == 0 {
+			return Mutation{}, false
+		}
+		return Mutation{Kind: MutInsertEdge, WantErr: true, E: Edge{
+			ID: s.nextE, Src: pick(rng, verts), Dst: s.nextV + 1000,
+			Weight: 1, Sel: rng.Int63n(100), Label: Labels[0],
+		}}, true
+	case 2: // rewire onto a dangling endpoint
+		if len(edges) == 0 || len(verts) == 0 {
+			return Mutation{}, false
+		}
+		return Mutation{Kind: MutRewireEdge, WantErr: true, E: Edge{
+			ID: pick(rng, edges), Src: pick(rng, verts), Dst: s.nextV + 1000,
+		}}, true
+	default: // rename a vertex onto an existing id
+		if len(verts) < 2 {
+			return Mutation{}, false
+		}
+		old := pick(rng, verts)
+		new_ := pick(rng, verts)
+		if old == new_ {
+			return Mutation{}, false
+		}
+		return Mutation{Kind: MutRenameVertex, WantErr: true, OldID: old, NewID: new_}, true
+	}
+}
+
+// Apply mirrors a successfully executed mutation onto the state with the
+// engine's semantics. Mutations whose target no longer exists are no-ops,
+// matching a DML statement whose WHERE clause matched zero rows. The caller
+// must NOT apply mutations the engine rejected (they rolled back).
+func (s *GraphState) Apply(m Mutation) {
+	switch m.Kind {
+	case MutInsertVertex:
+		s.Verts[m.V.ID] = m.V.Name
+		if m.V.ID >= s.nextV {
+			s.nextV = m.V.ID + 1
+		}
+	case MutInsertEdge:
+		s.Edges[m.E.ID] = m.E
+		if m.E.ID >= s.nextE {
+			s.nextE = m.E.ID + 1
+		}
+	case MutDeleteVertex:
+		if _, ok := s.Verts[m.V.ID]; !ok {
+			return
+		}
+		delete(s.Verts, m.V.ID)
+		for id, e := range s.Edges {
+			if e.Src == m.V.ID || e.Dst == m.V.ID {
+				delete(s.Edges, id)
+			}
+		}
+	case MutDeleteEdge:
+		delete(s.Edges, m.E.ID)
+	case MutRewireEdge:
+		e, ok := s.Edges[m.E.ID]
+		if !ok {
+			return
+		}
+		e.Src, e.Dst = m.E.Src, m.E.Dst
+		s.Edges[m.E.ID] = e
+	case MutEdgeAttr:
+		e, ok := s.Edges[m.E.ID]
+		if !ok {
+			return
+		}
+		e.Weight, e.Sel = m.E.Weight, m.E.Sel
+		s.Edges[m.E.ID] = e
+	case MutRenameVertex:
+		name, ok := s.Verts[m.OldID]
+		if !ok {
+			return
+		}
+		delete(s.Verts, m.OldID)
+		s.Verts[m.NewID] = name
+		if m.NewID >= s.nextV {
+			s.nextV = m.NewID + 1
+		}
+		// Referential integrity: rewrite referencing edges (§3.3.1).
+		for id, e := range s.Edges {
+			changed := false
+			if e.Src == m.OldID {
+				e.Src = m.NewID
+				changed = true
+			}
+			if e.Dst == m.OldID {
+				e.Dst = m.NewID
+				changed = true
+			}
+			if changed {
+				s.Edges[id] = e
+			}
+		}
+	case MutRenameEdge:
+		e, ok := s.Edges[m.OldID]
+		if !ok {
+			return
+		}
+		delete(s.Edges, m.OldID)
+		e.ID = m.NewID
+		s.Edges[m.NewID] = e
+		if m.NewID >= s.nextE {
+			s.nextE = m.NewID + 1
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkIntegrity asserts the state's structural invariants: every edge
+// endpoint references a live vertex and the id counters stay ahead of
+// every live id.
+func checkIntegrity(t *testing.T, s *GraphState) {
+	t.Helper()
+	for id, e := range s.Edges {
+		if e.ID != id {
+			t.Fatalf("edge map key %d holds edge with ID %d", id, e.ID)
+		}
+		if _, ok := s.Verts[e.Src]; !ok {
+			t.Fatalf("edge %d has dangling src %d", id, e.Src)
+		}
+		if _, ok := s.Verts[e.Dst]; !ok {
+			t.Fatalf("edge %d has dangling dst %d", id, e.Dst)
+		}
+	}
+	for id := range s.Verts {
+		if id >= s.nextV {
+			t.Fatalf("vertex %d >= nextV %d", id, s.nextV)
+		}
+	}
+	for id := range s.Edges {
+		if id >= s.nextE {
+			t.Fatalf("edge %d >= nextE %d", id, s.nextE)
+		}
+	}
+}
+
+// TestMutateApplyIntegrity drives a long random workload and checks the
+// model never violates referential integrity — the property the engine's
+// §3.3 maintenance is measured against.
+func TestMutateApplyIntegrity(t *testing.T) {
+	st := NewGraphState(Uniform(12, 20, true, 1))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		m := st.Mutate(rng)
+		if m.WantErr {
+			continue // the engine would reject it; the model must not apply it
+		}
+		st.Apply(m)
+		if i%97 == 0 {
+			checkIntegrity(t, st)
+		}
+	}
+	checkIntegrity(t, st)
+}
+
+// TestDeleteVertexCascades pins the §3.3.2 semantics the model mirrors.
+func TestDeleteVertexCascades(t *testing.T) {
+	st := NewGraphState(&Dataset{
+		Directed: true,
+		Vertices: []Vertex{{ID: 1, Name: "a"}, {ID: 2, Name: "b"}, {ID: 3, Name: "c"}},
+		Edges: []Edge{
+			{ID: 10, Src: 1, Dst: 2},
+			{ID: 11, Src: 2, Dst: 3},
+			{ID: 12, Src: 3, Dst: 1},
+		},
+	})
+	st.Apply(Mutation{Kind: MutDeleteVertex, V: Vertex{ID: 2}})
+	if _, ok := st.Verts[2]; ok {
+		t.Fatal("vertex 2 still present")
+	}
+	if len(st.Edges) != 1 {
+		t.Fatalf("cascade left %d edges, want 1", len(st.Edges))
+	}
+	if _, ok := st.Edges[12]; !ok {
+		t.Fatal("uninvolved edge 12 was cascaded away")
+	}
+}
+
+// TestRenameVertexRewritesEdges pins the §3.3.1 referential-integrity
+// rewrite.
+func TestRenameVertexRewritesEdges(t *testing.T) {
+	st := NewGraphState(&Dataset{
+		Directed: true,
+		Vertices: []Vertex{{ID: 1, Name: "a"}, {ID: 2, Name: "b"}},
+		Edges:    []Edge{{ID: 10, Src: 1, Dst: 2}, {ID: 11, Src: 2, Dst: 1}},
+	})
+	st.Apply(Mutation{Kind: MutRenameVertex, OldID: 1, NewID: 9})
+	if _, ok := st.Verts[1]; ok {
+		t.Fatal("old vertex id still present")
+	}
+	if st.Verts[9] != "a" {
+		t.Fatalf("rename lost the name: %q", st.Verts[9])
+	}
+	if e := st.Edges[10]; e.Src != 9 || e.Dst != 2 {
+		t.Fatalf("edge 10 endpoints not rewritten: %d->%d", e.Src, e.Dst)
+	}
+	if e := st.Edges[11]; e.Src != 2 || e.Dst != 9 {
+		t.Fatalf("edge 11 endpoints not rewritten: %d->%d", e.Src, e.Dst)
+	}
+	checkIntegrity(t, st)
+}
+
+// TestFanDegreesMatchKernel cross-checks the model's FanIn/FanOut against
+// the graph kernel's over the materialized topology, directed and not.
+func TestFanDegreesMatchKernel(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		d := Uniform(15, 30, directed, 3)
+		st := NewGraphState(d)
+		g := d.Build()
+		for _, id := range st.VertexIDs() {
+			v := g.Vertex(id)
+			if got, want := st.FanOut(id), g.FanOut(v); got != want {
+				t.Errorf("directed=%v FanOut(%d) = %d, kernel %d", directed, id, got, want)
+			}
+			if got, want := st.FanIn(id), g.FanIn(v); got != want {
+				t.Errorf("directed=%v FanIn(%d) = %d, kernel %d", directed, id, got, want)
+			}
+		}
+	}
+}
+
+// TestDatasetExportRoundTrip: exporting the state and re-importing it must
+// be lossless, since the oracle rebuilds every baseline from the export.
+func TestDatasetExportRoundTrip(t *testing.T) {
+	st := NewGraphState(Uniform(10, 18, false, 4))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		m := st.Mutate(rng)
+		if !m.WantErr {
+			st.Apply(m)
+		}
+	}
+	d := st.Dataset("x")
+	st2 := NewGraphState(d)
+	if len(st2.Verts) != len(st.Verts) || len(st2.Edges) != len(st.Edges) {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			len(st2.Verts), len(st2.Edges), len(st.Verts), len(st.Edges))
+	}
+	for id, name := range st.Verts {
+		if st2.Verts[id] != name {
+			t.Fatalf("vertex %d name %q != %q", id, st2.Verts[id], name)
+		}
+	}
+	for id, e := range st.Edges {
+		if st2.Edges[id] != e {
+			t.Fatalf("edge %d image differs", id)
+		}
+	}
+	// Export order is deterministic: ids ascending.
+	for i := 1; i < len(d.Edges); i++ {
+		if d.Edges[i-1].ID >= d.Edges[i].ID {
+			t.Fatal("edge export not sorted by id")
+		}
+	}
+}
+
+// TestWantErrFrequency: invalid statements must actually occur, but stay a
+// small minority of the workload.
+func TestWantErrFrequency(t *testing.T) {
+	st := NewGraphState(Uniform(12, 20, true, 6))
+	rng := rand.New(rand.NewSource(7))
+	bad := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		m := st.Mutate(rng)
+		if m.WantErr {
+			bad++
+			continue
+		}
+		st.Apply(m)
+	}
+	if bad == 0 {
+		t.Fatal("workload never generated an invalid statement")
+	}
+	if bad > n/4 {
+		t.Fatalf("invalid statements dominate: %d of %d", bad, n)
+	}
+}

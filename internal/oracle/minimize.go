@@ -1,0 +1,147 @@
+package oracle
+
+import (
+	"math/rand"
+)
+
+// Statement minimization: ddmin over the recorded op list. The predicate
+// replays a candidate subset from a fresh engine and asks whether the same
+// check family still fails. Replay is well-defined on any subset because
+// each statement's effect on the model is decided by whether the ENGINE
+// accepted it during that replay, not by what happened during recording.
+
+// maxPredicateRuns bounds minimization work; workloads are ≲60 statements,
+// so ddmin converges far below this in practice.
+const maxPredicateRuns = 300
+
+// minimizeOps returns a 1-minimal subsequence of ops that still triggers
+// the violation's check family (nil when even the full log no longer
+// reproduces, e.g. a nondeterministic failure).
+func minimizeOps(sc *scenario, ops []op, v *Violation) []string {
+	pred := predicateFor(sc, v)
+	runs := 0
+	reproduces := func(kept []op) bool {
+		if runs >= maxPredicateRuns {
+			return false
+		}
+		runs++
+		return pred(kept)
+	}
+	if !reproduces(ops) {
+		return nil
+	}
+	kept := ddmin(ops, reproduces)
+	return opSQL(kept)
+}
+
+// predicateFor builds the "does this subset still fail the same way?"
+// test. Statement-level violations (error-atomicity, unexpected-error) are
+// judged on the final statement's accept/reject behavior; check-battery
+// violations re-run the battery with the original batch's sampling seed.
+func predicateFor(sc *scenario, v *Violation) func([]op) bool {
+	switch v.Check {
+	case "error-atomicity":
+		// The offending statement was accepted though invalid; it must stay
+		// last in every candidate (ddmin subsets preserve order, and
+		// candidates not containing it cannot reproduce).
+		return func(kept []op) bool {
+			if len(kept) == 0 || !kept[len(kept)-1].m.WantErr {
+				return false
+			}
+			rs, ok := replayOps(sc, kept)
+			return ok && rs.lastErr == nil
+		}
+	case "unexpected-error":
+		return func(kept []op) bool {
+			if len(kept) == 0 || kept[len(kept)-1].m.WantErr {
+				return false
+			}
+			rs, ok := replayOps(sc, kept)
+			return ok && rs.lastErr != nil
+		}
+	default:
+		seed := checkSeed(v.Seed, v.Batch)
+		batch := v.Batch
+		check := v.Check
+		return func(kept []op) bool {
+			rs, ok := replayOps(sc, kept)
+			if !ok {
+				return false
+			}
+			got := sc.checkBatch(rs.eng, rs.st, rand.New(rand.NewSource(seed)), batch)
+			return got != nil && got.Check == check
+		}
+	}
+}
+
+// ddmin is Zeller's delta-debugging minimization: split the kept list into
+// n chunks, try each chunk and each complement, recurse on success,
+// otherwise double the granularity until it exceeds the list length. The
+// result is 1-minimal (no single chunk at final granularity removable).
+func ddmin(ops []op, reproduces func([]op) bool) []op {
+	kept := ops
+	n := 2
+	for len(kept) >= 2 {
+		chunks := split(kept, n)
+		reduced := false
+		for _, try := range candidates(kept, chunks) {
+			if reproduces(try) {
+				kept = try
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(kept) {
+				break
+			}
+			n = min(n*2, len(kept))
+		}
+	}
+	return kept
+}
+
+// candidates yields each chunk, then each complement-of-chunk.
+func candidates(kept []op, chunks [][]op) [][]op {
+	var out [][]op
+	for _, c := range chunks {
+		out = append(out, c)
+	}
+	for i := range chunks {
+		var comp []op
+		for j, c := range chunks {
+			if j != i {
+				comp = append(comp, c...)
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+func split(ops []op, n int) [][]op {
+	if n > len(ops) {
+		n = len(ops)
+	}
+	out := make([][]op, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(ops)/n, (i+1)*len(ops)/n
+		out = append(out, ops[lo:hi])
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+// Package oracle is the differential- and metamorphic-testing harness for
+// the engine's graph support. Each round derives a randomized scenario from
+// a seed — schema, initial graph, and an interleaved DML + query workload —
+// and cross-checks the engine after every DML batch against independent
+// oracles:
+//
+//   - the §3.3 maintenance oracle: the incrementally maintained topology
+//     must equal a from-scratch rebuild of the relational sources, and both
+//     must equal a pure-Go ground-truth model of the DML history;
+//   - differential oracles: reachability, bounded reachability, shortest
+//     paths and triangle counts are answered independently by the graph
+//     kernel, the property graph stores, the Grail-style iterative SQL
+//     driver and the SQLGraph join translation — any disagreement is a bug
+//     in one of them;
+//   - metamorphic relations needing no reference: tightening a predicate
+//     or a length bound never grows a result, results are identical at any
+//     worker count, and a Snapshot/Restore round-trip changes nothing.
+//
+// Every failure is reported as a replayable Violation carrying the round
+// seed and a ddmin-minimized statement log.
+package oracle
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/datagen"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Seed derives every round: round i runs with seed Seed + i*1000003, so
+	// a failure at round i reproduces alone via Seed=<round seed>, Rounds=1.
+	Seed int64
+	// Rounds caps the number of rounds (0 = run until Duration elapses).
+	Rounds int
+	// Duration bounds the run when Rounds is 0 (default 5s).
+	Duration time.Duration
+	// Workers is the engine worker-pool size scenarios run with (default 2).
+	Workers int
+	// NoMinimize skips ddmin statement minimization on failure.
+	NoMinimize bool
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Rounds <= 0 && c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	return c
+}
+
+// RoundSeed returns the seed of round i under base seed.
+func RoundSeed(seed int64, i int) int64 { return seed + int64(i)*1000003 }
+
+// checkSeed derives the sampling-RNG seed of a check batch. It depends only
+// on the round seed and batch index — not on the statements executed — so
+// minimization replays sample exactly the same probes.
+func checkSeed(roundSeed int64, batch int) int64 {
+	return roundSeed ^ (int64(batch+1) * (0x9E3779B97F4A7C15 >> 1))
+}
+
+// Report summarizes a harness run.
+type Report struct {
+	Rounds     int
+	Statements int
+	Batches    int
+	Elapsed    time.Duration
+	// Violations holds the first failure found (the run stops there so the
+	// repro is the shortest prefix); empty means every check passed.
+	Violations []*Violation
+}
+
+// Run executes the harness and returns its report. The error return is for
+// harness-infrastructure failures only; engine disagreements surface as
+// Violations in the report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.defaults()
+	start := time.Now()
+	rep := &Report{}
+	for i := 0; ; i++ {
+		if cfg.Rounds > 0 {
+			if i >= cfg.Rounds {
+				break
+			}
+		} else if i > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		seed := RoundSeed(cfg.Seed, i)
+		stmts, batches, v := runRound(cfg, seed)
+		rep.Rounds++
+		rep.Statements += stmts
+		rep.Batches += batches
+		if v != nil {
+			rep.Violations = append(rep.Violations, v)
+			break
+		}
+		if cfg.Log != nil && (i+1)%20 == 0 {
+			fmt.Fprintf(cfg.Log, "oracle: %d rounds, %d statements, %d check batches, all passing\n",
+				rep.Rounds, rep.Statements, rep.Batches)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// op is one recorded workload statement: the logical mutation plus its
+// rendered SQL. Replays execute the SQL and mirror successes into the
+// model, so dropping earlier ops stays well-defined.
+type op struct {
+	m   datagen.Mutation
+	sql string
+}
+
+// runRound generates and runs one scenario, returning the statement count,
+// completed check batches, and the first violation (nil if clean).
+func runRound(cfg Config, roundSeed int64) (stmts, batches int, viol *Violation) {
+	sc := buildScenario(cfg, roundSeed)
+	fail := func(v *Violation, ops []op) (int, int, *Violation) {
+		v.Seed = roundSeed
+		v.SetupSQL = sc.setupSQL()
+		v.Statements = opSQL(ops)
+		if !cfg.NoMinimize {
+			v.Minimized = minimizeOps(sc, ops, v)
+		}
+		return stmts, batches, v
+	}
+
+	eng, err := sc.newEngine()
+	if err != nil {
+		return fail(violationf("setup", "%v", err), nil)
+	}
+	st := datagen.NewGraphState(sc.initial)
+	opRNG := rand.New(rand.NewSource(roundSeed + 1))
+
+	// Batch 0: the initial bulk load must already pass every check.
+	if v := sc.checkBatch(eng, st, rand.New(rand.NewSource(checkSeed(roundSeed, 0))), 0); v != nil {
+		v.Batch = 0
+		return fail(v, nil)
+	}
+	batches++
+
+	var ops []op
+	for b := 1; b <= sc.batches; b++ {
+		for j := 0; j < sc.opsPerBatch; j++ {
+			m := st.Mutate(opRNG)
+			o := op{m: m, sql: sc.mutationSQL(m)}
+			ops = append(ops, o)
+			stmts++
+			_, err := eng.Execute(o.sql)
+			switch {
+			case m.WantErr && err == nil:
+				v := violationf("error-atomicity",
+					"engine accepted invalid %s statement %q", m.Kind, o.sql)
+				v.Batch = b
+				return fail(v, ops)
+			case !m.WantErr && err != nil:
+				v := violationf("unexpected-error",
+					"engine rejected valid %s statement %q: %v", m.Kind, o.sql, err)
+				v.Batch = b
+				return fail(v, ops)
+			case err == nil:
+				st.Apply(m)
+			}
+		}
+		if v := sc.checkBatch(eng, st, rand.New(rand.NewSource(checkSeed(roundSeed, b))), b); v != nil {
+			v.Batch = b
+			return fail(v, ops)
+		}
+		batches++
+	}
+	return stmts, batches, nil
+}
+
+func opSQL(ops []op) []string {
+	out := make([]string, len(ops))
+	for i, o := range ops {
+		out[i] = o.sql
+	}
+	return out
+}
+
+// replayOps builds a fresh engine + model and replays a subset of the
+// recorded ops: each statement executes against the engine and, when it
+// succeeds, mirrors into the model. Returns false if setup fails (a subset
+// cannot make setup fail; treat as "does not reproduce").
+func replayOps(sc *scenario, kept []op) (*replayState, bool) {
+	eng, err := sc.newEngine()
+	if err != nil {
+		return nil, false
+	}
+	st := datagen.NewGraphState(sc.initial)
+	rs := &replayState{eng: eng, st: st}
+	for _, o := range kept {
+		_, err := eng.Execute(o.sql)
+		rs.lastErr = err
+		if err == nil {
+			st.Apply(o.m)
+		}
+	}
+	return rs, true
+}
+
+type replayState struct {
+	eng     *core.Engine
+	st      *datagen.GraphState
+	lastErr error
+}

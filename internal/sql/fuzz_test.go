@@ -29,6 +29,19 @@ func FuzzParse(f *testing.F) {
 		`SELECT '' FROM t WHERE a <> b AND NOT (c >= d)`,
 		`[0..*] .. ? ; 'unterminated`,
 		`SELECT 1.5e10`, // bad float form in this dialect
+		// Graph-SQL shapes the differential oracle exercises (a checked-in
+		// corpus copy lives in testdata/fuzz/FuzzParse).
+		`CREATE DIRECTED GRAPH VIEW Soc VERTEXES(ID = nid, name = title) FROM Person
+		 EDGES(ID = rid, FROM = head, TO = tail, w = cost, sel = pct, lbl = kind) FROM Knows`,
+		`SELECT PS.PathString FROM G.Paths PS
+		 WHERE PS.StartVertex.Id = 3 AND PS.EndVertex.Id = 9 AND PS.Length <= 4
+		 AND PS.Edges[0..*].sel < 25 LIMIT 1`,
+		`SELECT TOP 1 SUM(PS.Edges.w) FROM Net.Paths PS HINT(SHORTESTPATH(w))
+		 WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 7`,
+		`SELECT COUNT(P) FROM G.Paths P WHERE P.Length = 3
+		 AND P.Edges[0..*].sel < 30 AND P.Edges[2].EndVertex = P.Edges[0].StartVertex`,
+		`SELECT VS.Id, VS.name, VS.FanOut, VS.FanIn FROM G.Vertexes VS`,
+		`SELECT COUNT(*) FROM G.Paths PS HINT(BFS) WHERE PS.Length <= 2 AND PS.Edges[0..*].sel < 80`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
