@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench oracle fmt vet clean
+.PHONY: all build test race fuzz bench oracle chaos fmt vet clean
 
 all: build test
 
@@ -24,6 +24,12 @@ fuzz:
 # same harness under -race with a wall-clock budget.
 oracle:
 	$(GO) run ./cmd/grbench -experiment oracle -seed 42 -duration 30s
+
+# Network-fault chaos soak: the server endures a 30s storm of injected
+# delays, truncated writes, resets, accept errors, panics, and deadline
+# aborts under the race detector. CI runs the same budget.
+chaos:
+	GRF_SOAK=30 $(GO) test -race -v -run 'TestChaos' -timeout 8m ./internal/server
 
 # Sequential-vs-parallel traversal timings; emits the perf-trajectory
 # artifact CI uploads on every run.

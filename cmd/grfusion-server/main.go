@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql] [-mem bytes] [-stats 30s] [-workers N]
+//	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql]
+//	                [-mem bytes] [-stats 30s] [-workers N]
+//	                [-query-timeout 0] [-max-concurrent 0] [-idle-timeout 0]
+//	                [-drain-timeout 10s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish
+// and flush their responses, bounded by -drain-timeout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"grfusion/internal/core"
 	"grfusion/internal/server"
@@ -24,10 +32,16 @@ func main() {
 		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
 		stats   = flag.Duration("stats", 0, "graph-view statistics refresh interval (0 = disabled)")
 		workers = flag.Int("workers", 0, "traversal worker pool per multi-source path query (<=1 = sequential)")
+
+		queryTimeout  = flag.Duration("query-timeout", 0, "per-statement execution deadline (0 = none; SET QUERY_TIMEOUT adjusts at runtime)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max statements executing at once; excess requests are shed with a retryable error (0 = unlimited)")
+		idleTimeout   = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+		writeTimeout  = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown drain bound (0 = 10s default, negative = unbounded)")
 	)
 	flag.Parse()
 
-	eng := core.New(core.Options{MemLimit: *mem, Workers: *workers})
+	eng := core.New(core.Options{MemLimit: *mem, Workers: *workers, QueryTimeout: *queryTimeout})
 	if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {
@@ -54,11 +68,29 @@ func main() {
 		eng.StartStatistics(*stats)
 		defer eng.Close()
 	}
-	srv := server.New(eng)
+	srv := server.NewWith(eng, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		IdleTimeout:   *idleTimeout,
+		WriteTimeout:  *writeTimeout,
+		DrainTimeout:  *drainTimeout,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "grfusion-server: %v: draining and shutting down\n", s)
+		srv.Shutdown()
+		close(done)
+	}()
+
 	fmt.Fprintf(os.Stderr, "grfusion-server: listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
+	<-done
+	fmt.Fprintln(os.Stderr, "grfusion-server: bye")
 }
 
 func fatal(err error) {

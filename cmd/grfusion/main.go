@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	grfusion [-restore snapshot.gob] [-script init.sql] [-mem bytes]
+//	grfusion [-restore snapshot.gob] [-script init.sql] [-mem bytes] [-timeout 5s]
 //	grfusion -connect 127.0.0.1:21212      # talk to a grfusion-server
 package main
 
@@ -50,13 +50,14 @@ func main() {
 		script  = flag.String("script", "", "run a SQL script before starting")
 		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
 		connect = flag.String("connect", "", "connect to a grfusion-server instead of running embedded")
+		timeout = flag.Duration("timeout", 0, "per-statement deadline (0 = none); sent as timeout_ms in remote mode")
 	)
 	flag.Parse()
 
 	var db *grfusion.DB
 	var exec executor
 	if *connect != "" {
-		c, err := server.Dial(*connect)
+		c, err := server.DialWith(*connect, server.Options{RequestTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grfusion: %v\n", err)
 			os.Exit(1)
@@ -65,7 +66,7 @@ func main() {
 		exec = remoteExec{c: c}
 		fmt.Println("connected to", *connect)
 	} else {
-		db = grfusion.Open(grfusion.Config{MemLimit: *mem})
+		db = grfusion.Open(grfusion.Config{MemLimit: *mem, QueryTimeout: *timeout})
 		exec = db
 	}
 	if *restore != "" && db == nil {

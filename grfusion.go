@@ -26,6 +26,7 @@
 package grfusion
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -74,7 +75,23 @@ type Config struct {
 	// (§6.3 of the paper) with the given period; zero disables it. Call
 	// Close to stop the refresher.
 	StatsInterval time.Duration
+	// QueryTimeout bounds each statement's wall clock; statements that
+	// exceed it abort with ErrTimeout. Zero disables it. Adjustable at
+	// runtime with SET QUERY_TIMEOUT = <milliseconds>.
+	QueryTimeout time.Duration
 }
+
+// Typed lifecycle errors, matchable with errors.Is on any statement error.
+var (
+	// ErrTimeout reports a statement that exceeded its deadline.
+	ErrTimeout = core.ErrTimeout
+	// ErrCanceled reports a statement aborted by context cancellation.
+	ErrCanceled = core.ErrCanceled
+	// ErrMemLimit reports the per-statement intermediate-memory limit.
+	ErrMemLimit = core.ErrMemLimit
+	// ErrQueryPanic reports a statement aborted by a recovered panic.
+	ErrQueryPanic = core.ErrQueryPanic
+)
 
 // DB is one in-memory database instance. It is safe for concurrent use;
 // statements execute serially (the VoltDB execution model).
@@ -85,7 +102,8 @@ type DB struct {
 // Open creates a new, empty database.
 func Open(cfg Config) *DB {
 	db := &DB{engine: core.New(core.Options{
-		MemLimit: cfg.MemLimit,
+		MemLimit:     cfg.MemLimit,
+		QueryTimeout: cfg.QueryTimeout,
 		Plan: plan.Options{
 			DisablePushdown:        cfg.DisablePushdown,
 			DisableLengthInference: cfg.DisableLengthInference,
@@ -123,6 +141,13 @@ func wrap(r *core.Result) *Result {
 // Exec runs a single SQL statement (DDL, DML, or query).
 func (db *DB) Exec(query string) (*Result, error) {
 	r, err := db.engine.Execute(query)
+	return wrap(r), err
+}
+
+// ExecContext is Exec under a cancellation context: ctx's deadline or
+// cancellation aborts the statement with ErrTimeout/ErrCanceled.
+func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
+	r, err := db.engine.ExecuteContext(ctx, query)
 	return wrap(r), err
 }
 
@@ -206,6 +231,11 @@ func (s *Stmt) NumParams() int { return s.p.NumParams() }
 // Query executes the prepared plan. Arguments may be Go ints, floats,
 // strings, bools, nil, or Values.
 func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query under a cancellation context.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
 	params := make([]Value, len(args))
 	for i, a := range args {
 		v, err := ToValue(a)
@@ -214,7 +244,7 @@ func (s *Stmt) Query(args ...any) (*Result, error) {
 		}
 		params[i] = v
 	}
-	r, err := s.p.Query(params...)
+	r, err := s.p.QueryContext(ctx, params...)
 	return wrap(r), err
 }
 

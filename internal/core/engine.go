@@ -15,9 +15,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"grfusion/internal/catalog"
 	"grfusion/internal/exec"
@@ -26,6 +32,35 @@ import (
 	"grfusion/internal/storage"
 	"grfusion/internal/types"
 )
+
+// Typed lifecycle errors. ErrTimeout/ErrCanceled/ErrMemLimit re-export the
+// executor's sentinels so callers can match with errors.Is without
+// importing internal/exec.
+var (
+	// ErrTimeout reports a statement that exceeded its deadline (a caller
+	// context deadline or the engine's QUERY_TIMEOUT).
+	ErrTimeout = exec.ErrTimeout
+	// ErrCanceled reports a statement aborted by explicit cancellation.
+	ErrCanceled = exec.ErrCanceled
+	// ErrMemLimit reports the per-statement intermediate-memory limit.
+	ErrMemLimit = exec.ErrMemLimit
+	// ErrQueryPanic reports a statement aborted by a recovered operator
+	// panic; the full stack is logged through the standard logger. The
+	// engine survives, isolating one crashing query from the process.
+	ErrQueryPanic = errors.New("query aborted by internal panic")
+)
+
+// ctxErr maps a context's error state to the typed lifecycle errors.
+func ctxErr(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrTimeout
+	default:
+		return ErrCanceled
+	}
+}
 
 // Options configure an Engine.
 type Options struct {
@@ -39,6 +74,12 @@ type Options struct {
 	// results are identical either way — the parallel operator merges
 	// per-source results in deterministic source order.
 	Workers int
+	// QueryTimeout bounds each statement's execution wall clock (the
+	// per-statement timeout of the paper's host system, VoltDB). Zero
+	// disables it; it can be changed at runtime with SET QUERY_TIMEOUT
+	// (milliseconds) or SetQueryTimeout. Statements that exceed it abort
+	// cooperatively with ErrTimeout.
+	QueryTimeout time.Duration
 	// Planner options (pushdown/inference toggles for ablations).
 	Plan plan.Options
 }
@@ -53,6 +94,12 @@ type Engine struct {
 	cat  *catalog.Catalog
 	opts Options
 
+	// queryTimeoutNS is the per-statement deadline in nanoseconds (0 =
+	// none). It is atomic, not guarded by mu: ExecuteStmtContext reads it
+	// before queueing for the statement lock, so the deadline clock covers
+	// lock-wait time too.
+	queryTimeoutNS atomic.Int64
+
 	// Statistics-thread lifecycle (see stats.go).
 	statsMu   sync.Mutex
 	statsStop chan struct{}
@@ -61,7 +108,23 @@ type Engine struct {
 
 // New creates an empty engine.
 func New(opts Options) *Engine {
-	return &Engine{cat: catalog.New(), opts: opts}
+	e := &Engine{cat: catalog.New(), opts: opts}
+	e.SetQueryTimeout(opts.QueryTimeout)
+	return e
+}
+
+// QueryTimeout returns the per-statement deadline (zero = none).
+func (e *Engine) QueryTimeout() time.Duration {
+	return time.Duration(e.queryTimeoutNS.Load())
+}
+
+// SetQueryTimeout sets the per-statement deadline; zero or negative
+// disables it. Equivalent to SET QUERY_TIMEOUT = <ms>.
+func (e *Engine) SetQueryTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.queryTimeoutNS.Store(int64(d))
 }
 
 // Result is the outcome of one statement.
@@ -87,23 +150,39 @@ func (e *Engine) SetPlanOptions(o plan.Options) {
 
 // Execute parses and runs a single statement.
 func (e *Engine) Execute(query string) (*Result, error) {
+	return e.ExecuteContext(context.Background(), query)
+}
+
+// ExecuteContext parses and runs a single statement under ctx's lifecycle:
+// its deadline or cancellation aborts cooperative operators with
+// ErrTimeout/ErrCanceled.
+func (e *Engine) ExecuteContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteStmt(stmt)
+	return e.ExecuteStmtContext(ctx, stmt)
 }
 
 // ExecuteScript runs a semicolon-separated script, stopping at the first
 // error. It returns one result per executed statement.
 func (e *Engine) ExecuteScript(script string) ([]*Result, error) {
+	return e.ExecuteScriptContext(context.Background(), script)
+}
+
+// ExecuteScriptContext is ExecuteScript under a cancellation context; the
+// script stops between statements once the context fires.
+func (e *Engine) ExecuteScriptContext(ctx context.Context, script string) ([]*Result, error) {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, s := range stmts {
-		r, err := e.ExecuteStmt(s)
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
+		r, err := e.ExecuteStmtContext(ctx, s)
 		if err != nil {
 			return out, err
 		}
@@ -117,12 +196,45 @@ func (e *Engine) ExecuteScript(script string) ([]*Result, error) {
 // concurrently under the shared lock, everything else serializes under the
 // exclusive lock.
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
-	if plan.ReadOnly(stmt) {
+	return e.ExecuteStmtContext(context.Background(), stmt)
+}
+
+// ExecuteStmtContext is ExecuteStmt with a managed lifecycle:
+//
+//   - ctx's deadline/cancellation — tightened by the engine's QUERY_TIMEOUT
+//     when one is set — aborts cooperative operators and traversal kernels
+//     with ErrTimeout/ErrCanceled. The deadline clock starts before the
+//     statement queues for the execution lock, so lock-wait counts too.
+//   - A panicking operator is recovered into ErrQueryPanic (stack logged
+//     via the standard logger) instead of taking down the process. For
+//     mutating statements the undo journal is not replayed across a panic,
+//     so the error also warns that state may be partially applied.
+func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := e.QueryTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	readOnly := plan.ReadOnly(stmt)
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("core: recovered query panic: %v\n%s", r, debug.Stack())
+			res = nil
+			err = fmt.Errorf("%w: %v", ErrQueryPanic, r)
+			if !readOnly {
+				err = fmt.Errorf("%w (mutating statement: engine state may be partially applied)", err)
+			}
+		}
+	}()
+	if readOnly {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 		switch s := stmt.(type) {
 		case *sql.Select:
-			return e.runSelect(s)
+			return e.runSelect(ctx, s)
 		case *sql.Explain:
 			return e.runExplain(s)
 		case *sql.Show:
@@ -133,6 +245,11 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Writers serialize: a statement whose deadline elapsed while queueing
+	// behind other writers aborts before touching any state.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return e.createTable(s)
@@ -165,6 +282,8 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 		return e.runUpdate(s)
 	case *sql.Delete:
 		return e.runDelete(s)
+	case *sql.Set:
+		return e.runSet(s)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -204,15 +323,16 @@ func (e *Engine) runExplain(s *sql.Explain) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) runSelect(s *sql.Select) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, error) {
 	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
 	op, err := p.PlanSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext(e.opts.MemLimit)
-	ctx.Workers = e.opts.Workers
-	rows, err := exec.Collect(ctx, op)
+	ec := exec.NewContext(e.opts.MemLimit)
+	ec.Workers = e.opts.Workers
+	ec.Bind(ctx)
+	rows, err := exec.Collect(ec, op)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +341,22 @@ func (e *Engine) runSelect(s *sql.Select) (*Result, error) {
 		cols[i] = c.Name
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// runSet applies a SET <name> = <int> tunable. QUERY_TIMEOUT sets the
+// per-statement deadline in milliseconds (0 disables it); the new value
+// applies to statements issued after this one.
+func (e *Engine) runSet(s *sql.Set) (*Result, error) {
+	switch s.Name {
+	case "QUERY_TIMEOUT":
+		if s.Value < 0 {
+			return nil, fmt.Errorf("SET QUERY_TIMEOUT: value must be >= 0 milliseconds, got %d", s.Value)
+		}
+		e.SetQueryTimeout(time.Duration(s.Value) * time.Millisecond)
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("SET: unknown setting %q (supported: QUERY_TIMEOUT)", s.Name)
+	}
 }
 
 func (e *Engine) createTable(s *sql.CreateTable) (*Result, error) {

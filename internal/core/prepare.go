@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"runtime/debug"
 
 	"grfusion/internal/exec"
 	"grfusion/internal/expr"
@@ -131,16 +134,39 @@ func (p *Prepared) Columns() []string { return p.cols }
 // state in their iterators, making a Prepared safe for concurrent Query
 // calls from multiple goroutines.
 func (p *Prepared) Query(params ...types.Value) (*Result, error) {
+	return p.QueryContext(context.Background(), params...)
+}
+
+// QueryContext is Query under a cancellation context: the context's
+// deadline or cancellation — tightened by the engine's QUERY_TIMEOUT when
+// one is set — aborts the execution with ErrTimeout/ErrCanceled. A
+// recovered operator panic surfaces as ErrQueryPanic.
+func (p *Prepared) QueryContext(ctx context.Context, params ...types.Value) (res *Result, err error) {
 	if len(params) != p.nparams {
 		return nil, fmt.Errorf("prepared statement expects %d parameter(s), got %d",
 			p.nparams, len(params))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := p.e.QueryTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("core: recovered query panic: %v\n%s", r, debug.Stack())
+			res, err = nil, fmt.Errorf("%w: %v", ErrQueryPanic, r)
+		}
+	}()
 	p.e.mu.RLock()
 	defer p.e.mu.RUnlock()
-	ctx := exec.NewContext(p.e.opts.MemLimit)
-	ctx.Workers = p.e.opts.Workers
-	ctx.Params = types.Row(params)
-	rows, err := exec.Collect(ctx, p.op)
+	ec := exec.NewContext(p.e.opts.MemLimit)
+	ec.Workers = p.e.opts.Workers
+	ec.Params = types.Row(params)
+	ec.Bind(ctx)
+	rows, err := exec.Collect(ec, p.op)
 	if err != nil {
 		return nil, err
 	}

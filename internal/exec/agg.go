@@ -89,6 +89,9 @@ func (a *HashAggregate) Open(ctx *Context) (Iterator, error) {
 		return g
 	}
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			return fail(err)
+		}
 		row, err := child.Next()
 		if err != nil {
 			return fail(err)

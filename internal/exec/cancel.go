@@ -1,0 +1,65 @@
+package exec
+
+// This file gives every query a managed lifecycle. The paper's host system
+// (VoltDB) bounds queries with per-statement timeouts next to the
+// temp-memory limit its §7.2 Twitter experiment trips; our reproduction
+// mirrors both. A Context carries a cancellation signal (a deadline, a
+// client disconnect, a server shutdown) that every operator and traversal
+// kernel polls cooperatively, so one bad PATHS query on a cyclic graph
+// aborts promptly with a typed error instead of running forever.
+
+import (
+	"context"
+	"errors"
+)
+
+// Typed lifecycle errors. They are distinct from each other and from
+// ordinary evaluation errors so callers (the server, the shell, retrying
+// clients) can react per cause with errors.Is.
+var (
+	// ErrCanceled reports a query aborted by explicit cancellation — a
+	// client disconnect or a server shutdown.
+	ErrCanceled = errors.New("query canceled")
+	// ErrTimeout reports a query that exceeded its deadline (SET
+	// QUERY_TIMEOUT, server config, or a client-supplied timeout_ms).
+	ErrTimeout = errors.New("query timeout exceeded")
+	// ErrMemLimit reports the intermediate-result memory limit, the
+	// executor's analogue of VoltDB's temp-table limit.
+	ErrMemLimit = errors.New("intermediate-result memory limit exceeded")
+)
+
+// Bind attaches a context's cancellation signal to the execution context.
+// Operators observe it through CheckCancel; traversal kernels through
+// Done. Binding a context without a Done channel is a no-op.
+func (c *Context) Bind(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	c.done = ctx.Done()
+	c.cancelCause = func() error {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrTimeout
+		}
+		return ErrCanceled
+	}
+}
+
+// Done exposes the cancellation channel (nil when no signal is bound) for
+// kernels below the executor, e.g. graph.Spec.Done.
+func (c *Context) Done() <-chan struct{} { return c.done }
+
+// CheckCancel polls the cancellation signal, returning ErrTimeout or
+// ErrCanceled once it has fired. It is safe to call from traversal worker
+// goroutines: it only reads state that is immutable after Bind. The
+// fast path (no signal bound) is a nil check.
+func (c *Context) CheckCancel() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.cancelCause()
+	default:
+		return nil
+	}
+}

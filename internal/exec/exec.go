@@ -32,6 +32,12 @@ type Context struct {
 
 	used int64
 
+	// Cancellation signal (see cancel.go). done is nil until Bind attaches
+	// a context; both fields are immutable afterwards, so worker goroutines
+	// may poll CheckCancel without synchronization.
+	done        <-chan struct{}
+	cancelCause func() error
+
 	// Counters. EdgesTraversed is updated with atomic adds (traversal
 	// workers flush their local counts into it); read it only after the
 	// query completes, or via atomic loads.
@@ -48,8 +54,7 @@ func NewContext(memLimit int64) *Context { return &Context{MemLimit: memLimit} }
 func (c *Context) Grow(bytes int64) error {
 	c.used += bytes
 	if c.MemLimit > 0 && c.used > c.MemLimit {
-		return fmt.Errorf("intermediate-result memory limit exceeded (%d bytes used, limit %d)",
-			c.used, c.MemLimit)
+		return fmt.Errorf("%w (%d bytes used, limit %d)", ErrMemLimit, c.used, c.MemLimit)
 	}
 	return nil
 }
@@ -114,6 +119,9 @@ func Collect(ctx *Context, op Operator) ([]types.Row, error) {
 	defer it.Close()
 	var out []types.Row
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		row, err := it.Next()
 		if err != nil {
 			return nil, err

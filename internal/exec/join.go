@@ -54,6 +54,11 @@ func (j *HashJoin) Open(ctx *Context) (Iterator, error) {
 	table := make(map[string][]types.Row)
 	var charged int64
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			right.Close()
+			ctx.Release(charged)
+			return nil, err
+		}
 		row, err := right.Next()
 		if err != nil {
 			right.Close()
@@ -104,6 +109,9 @@ type hashJoinIter struct {
 
 func (it *hashJoinIter) Next() (types.Row, error) {
 	for {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		for it.mi < len(it.matches) {
 			r := it.matches[it.mi]
 			it.mi++
@@ -198,6 +206,11 @@ func (j *NestedLoopJoin) Open(ctx *Context) (Iterator, error) {
 	var rows []types.Row
 	var charged int64
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			right.Close()
+			ctx.Release(charged)
+			return nil, err
+		}
 		row, err := right.Next()
 		if err != nil {
 			right.Close()
@@ -237,6 +250,9 @@ type nljIter struct {
 
 func (it *nljIter) Next() (types.Row, error) {
 	for {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		for it.ri < len(it.right) {
 			joined := types.ConcatRows(it.leftRow, it.right[it.ri])
 			it.ri++

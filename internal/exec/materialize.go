@@ -38,6 +38,10 @@ func (m *Materialize) Open(ctx *Context) (Iterator, error) {
 	var rows []types.Row
 	var charged int64
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			ctx.Release(charged)
+			return nil, err
+		}
 		row, err := child.Next()
 		if err != nil {
 			ctx.Release(charged)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -315,6 +316,16 @@ type probeConsts struct {
 
 func (it *pathProbeIter) Next() (types.Row, error) {
 	for {
+		// Cancellation fires here even when the kernels below halted
+		// silently: a stopped kernel looks exhausted, and this check turns
+		// that into the typed lifecycle error instead of a partial result.
+		if err := it.ctx.CheckCancel(); err != nil {
+			if it.run != nil {
+				it.run.finish()
+				it.run = nil
+			}
+			return nil, err
+		}
 		if it.run != nil {
 			path := it.run.iter.Next()
 			if err := it.run.evalErr; err != nil {
@@ -339,6 +350,20 @@ func (it *pathProbeIter) Next() (types.Row, error) {
 			err := it.run.err()
 			it.run.finish()
 			it.run = nil
+			if errors.Is(err, graph.ErrStopped) {
+				// The parallel merge halted on the cancellation signal;
+				// report the typed cause instead of the kernel sentinel.
+				if cerr := it.ctx.CheckCancel(); cerr != nil {
+					err = cerr
+				}
+			}
+			if err == nil {
+				// Kernels halt silently when the cancellation signal fires:
+				// a stopped kernel is indistinguishable from an exhausted
+				// one. Re-check here so a cancelled traversal can never
+				// masquerade as a complete (but truncated) result.
+				err = it.ctx.CheckCancel()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -387,7 +412,7 @@ func (it *pathProbeIter) parallelEligible() bool {
 func (it *pathProbeIter) openParallel() {
 	starts := it.starts
 	it.si = len(starts)
-	msi := graph.RunMultiSource(len(starts), it.ctx.Workers, func(i int) ([]*graph.Path, error) {
+	msi := graph.RunMultiSource(it.ctx.Done(), len(starts), it.ctx.Workers, func(i int) ([]*graph.Path, error) {
 		return it.drainSource(starts[i])
 	})
 	it.run = &probeRun{ctx: it.ctx, iter: msi, spErr: msi.Err, msi: msi}
@@ -400,6 +425,11 @@ func (it *pathProbeIter) drainSource(start *graph.Vertex) ([]*graph.Path, error)
 	defer run.finish()
 	var out []*graph.Path
 	for {
+		// Worker-side cooperative check: a canceled query stops draining
+		// even when the kernel below is between its own amortized polls.
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		p := run.iter.Next()
 		if run.evalErr != nil {
 			return nil, run.evalErr
@@ -539,6 +569,7 @@ func (it *pathProbeIter) newRun(start *graph.Vertex) *probeRun {
 		MaxLen:     spec.MaxLen,
 		Policy:     spec.Policy,
 		AllowCycle: spec.CycleClose,
+		Done:       it.ctx.Done(),
 	}
 	gspec.FilterEdge = func(pos int, e *graph.Edge, from, to *graph.Vertex) bool {
 		run.edges++

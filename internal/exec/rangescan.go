@@ -101,6 +101,9 @@ type rangeScanIter struct {
 
 func (it *rangeScanIter) Next() (types.Row, error) {
 	for it.i < len(it.ids) {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		row, ok := it.s.Table.Get(it.ids[it.i])
 		it.i++
 		if !ok {

@@ -233,6 +233,10 @@ func (s *Sort) Open(ctx *Context) (Iterator, error) {
 	var rows []sortRow
 	var charged int64
 	for {
+		if err := ctx.CheckCancel(); err != nil {
+			ctx.Release(charged)
+			return nil, err
+		}
 		row, err := child.Next()
 		if err != nil {
 			ctx.Release(charged)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 
 	"grfusion/internal/catalog"
 	"grfusion/internal/expr"
@@ -36,6 +37,31 @@ func (s *singletonIter) Next() (types.Row, error) {
 	return types.Row{}, nil
 }
 func (s *singletonIter) Close() {}
+
+// DebugPanicTable, when non-empty, makes Open of a scan over the named
+// table panic — the fault-injection hook behind the server's
+// panic-isolation tests, mirroring catalog.DebugSkipEdgeDelete. Never set
+// outside tests.
+var DebugPanicTable string
+
+// DebugStallTable and DebugStall, when set, make Open of a scan over the
+// named table call DebugStall (typically blocking on a channel) — the
+// deterministic "in-flight statement" hook behind the graceful-shutdown
+// tests. Never set outside tests.
+var (
+	DebugStallTable string
+	DebugStall      func()
+)
+
+// debugScanHooks applies the test-only fault hooks for a scan over name.
+func debugScanHooks(name string) {
+	if DebugPanicTable != "" && strings.EqualFold(name, DebugPanicTable) {
+		panic(fmt.Sprintf("exec: injected panic opening scan over %s (DebugPanicTable)", name))
+	}
+	if DebugStall != nil && strings.EqualFold(name, DebugStallTable) {
+		DebugStall()
+	}
+}
 
 // SeqScan scans a table, optionally filtering. The filter is bound against
 // the scan's output schema.
@@ -74,6 +100,7 @@ func (s *SeqScan) Children() []Operator { return nil }
 
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *Context) (Iterator, error) {
+	debugScanHooks(s.Table.Name())
 	// Materialize the matching row ids up front: tables are not versioned
 	// MVCC stores, and the engine serializes statements, so a snapshot of
 	// ids is stable for the statement's lifetime.
@@ -94,6 +121,9 @@ type seqScanIter struct {
 
 func (it *seqScanIter) Next() (types.Row, error) {
 	for it.i < len(it.ids) {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		row, ok := it.s.Table.Get(it.ids[it.i])
 		it.i++
 		if !ok {
@@ -171,6 +201,9 @@ type indexScanIter struct {
 
 func (it *indexScanIter) Next() (types.Row, error) {
 	for it.i < len(it.ids) {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		row, ok := it.s.Table.Get(it.ids[it.i])
 		it.i++
 		if !ok {
@@ -242,6 +275,9 @@ type vertexScanIter struct {
 
 func (it *vertexScanIter) Next() (types.Row, error) {
 	for it.i < len(it.verts) {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		v := it.verts[it.i]
 		it.i++
 		row, err := it.s.GV.VertexRow(v)
@@ -314,6 +350,9 @@ type edgeScanIter struct {
 
 func (it *edgeScanIter) Next() (types.Row, error) {
 	for it.i < len(it.edges) {
+		if err := it.ctx.CheckCancel(); err != nil {
+			return nil, err
+		}
 		e := it.edges[it.i]
 		it.i++
 		row, err := it.s.GV.EdgeRow(e)

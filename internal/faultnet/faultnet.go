@@ -1,0 +1,197 @@
+// Package faultnet injects deterministic network faults between a server
+// and its clients for chaos testing: random delays, partial writes,
+// truncated payloads, mid-stream connection resets, and transient accept
+// errors. Wrapping a net.Listener with Wrap makes every accepted
+// connection misbehave according to a seeded schedule, so a failing run
+// reproduces exactly from its seed.
+//
+// The package exists to drive the server's robustness envelope (panic
+// isolation, timeouts, accept-loop backoff, graceful shutdown) under
+// `go test -race`: the server must keep serving well-formed requests on
+// healthy connections no matter what the faulty ones do.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options configure the fault schedule. The zero value injects nothing
+// (Wrap becomes a pass-through).
+type Options struct {
+	// Seed fixes the pseudo-random fault schedule; runs with the same seed
+	// and the same operation sequence inject the same faults.
+	Seed int64
+	// MaxDelay adds a uniform random delay in [0, MaxDelay) before each
+	// read and write. Zero disables delays.
+	MaxDelay time.Duration
+	// WriteChunk splits each write into chunks of at most this many bytes
+	// (exercising short-write handling). Zero writes whole buffers.
+	WriteChunk int
+	// ResetProb is the per-operation probability of abruptly closing the
+	// connection and returning an error (a mid-stream RST).
+	ResetProb float64
+	// TruncateProb is the per-write probability of writing only a random
+	// prefix of the buffer and then resetting the connection.
+	TruncateProb float64
+	// AcceptErrEvery makes every Nth Accept fail once with a temporary
+	// error (net.Error with Temporary() == true) before delivering the
+	// connection, exercising accept-loop retry. Zero disables it.
+	AcceptErrEvery int
+}
+
+// tempError is a transient fault, reported as retryable to accept loops.
+type tempError struct{ msg string }
+
+func (e *tempError) Error() string   { return "faultnet: " + e.msg }
+func (e *tempError) Timeout() bool   { return false }
+func (e *tempError) Temporary() bool { return true }
+
+var _ net.Error = (*tempError)(nil)
+
+// errReset reports an injected connection reset.
+type errReset struct{ op string }
+
+func (e *errReset) Error() string { return "faultnet: injected connection reset during " + e.op }
+
+// Listener injects faults into accepted connections.
+type Listener struct {
+	inner net.Listener
+	opts  Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	accepts int
+	pending net.Conn // connection delayed by an injected accept error
+}
+
+// Wrap decorates ln with the fault schedule described by opts.
+func Wrap(ln net.Listener, opts Options) *Listener {
+	return &Listener{inner: ln, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Accept implements net.Listener. Every Options.AcceptErrEvery calls it
+// accepts the connection, parks it, and returns a temporary error first;
+// the parked connection is delivered by the retry.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if c := l.pending; c != nil {
+		l.pending = nil
+		l.accepts++
+		conn := l.wrapConn(c)
+		l.mu.Unlock()
+		return conn, nil
+	}
+	l.mu.Unlock()
+
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.accepts++
+	if l.opts.AcceptErrEvery > 0 && l.accepts%l.opts.AcceptErrEvery == 0 {
+		// Park the real connection and fail once: a correct accept loop
+		// treats the error as temporary, backs off, and retries.
+		l.pending = c
+		l.accepts--
+		return nil, &tempError{msg: fmt.Sprintf("injected accept fault (accept #%d)", l.accepts+1)}
+	}
+	return l.wrapConn(c), nil
+}
+
+// wrapConn gives each connection its own deterministic sub-schedule.
+// Callers hold l.mu.
+func (l *Listener) wrapConn(c net.Conn) net.Conn {
+	return &Conn{Conn: c, opts: l.opts, rng: rand.New(rand.NewSource(l.opts.Seed + int64(l.accepts)))}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.pending != nil {
+		l.pending.Close()
+		l.pending = nil
+	}
+	l.mu.Unlock()
+	return l.inner.Close()
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is a net.Conn that misbehaves per its fault schedule.
+type Conn struct {
+	net.Conn
+	opts Options
+
+	mu  sync.Mutex // guards rng (Read and Write may race)
+	rng *rand.Rand
+}
+
+// roll draws the shared pseudo-random schedule under the lock.
+func (c *Conn) roll() (delay time.Duration, reset bool, truncate bool, frac float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.opts.MaxDelay)))
+	}
+	reset = c.opts.ResetProb > 0 && c.rng.Float64() < c.opts.ResetProb
+	truncate = c.opts.TruncateProb > 0 && c.rng.Float64() < c.opts.TruncateProb
+	frac = c.rng.Float64()
+	return
+}
+
+// Read implements net.Conn with injected delays and resets.
+func (c *Conn) Read(p []byte) (int, error) {
+	delay, reset, _, _ := c.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, &errReset{op: "read"}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with injected delays, short writes, payload
+// truncation, and resets.
+func (c *Conn) Write(p []byte) (int, error) {
+	delay, reset, truncate, frac := c.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, &errReset{op: "write"}
+	}
+	if truncate && len(p) > 0 {
+		// Deliver a strict prefix, then kill the connection: the peer sees
+		// a torn frame followed by EOF/reset.
+		n, _ := c.Conn.Write(p[:int(frac*float64(len(p)))])
+		c.Conn.Close()
+		return n, &errReset{op: "write (truncated payload)"}
+	}
+	if c.opts.WriteChunk > 0 {
+		var n int
+		for len(p) > 0 {
+			k := c.opts.WriteChunk
+			if k > len(p) {
+				k = len(p)
+			}
+			m, err := c.Conn.Write(p[:k])
+			n += m
+			if err != nil {
+				return n, err
+			}
+			p = p[k:]
+		}
+		return n, nil
+	}
+	return c.Conn.Write(p)
+}

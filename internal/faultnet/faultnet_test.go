@@ -1,0 +1,185 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeListener turns net.Pipe into a one-shot listener/dialer pair so the
+// tests need no real sockets.
+func tcpPair(t *testing.T, opts Options) (client net.Conn, server net.Conn, cleanup func()) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := Wrap(inner, opts)
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Temporary() {
+					continue // retry like a hardened accept loop
+				}
+				ch <- res{nil, err}
+				return
+			}
+			ch <- res{c, nil}
+			return
+		}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("accept: %v", r.err)
+	}
+	return client, r.c, func() { client.Close(); r.c.Close(); ln.Close() }
+}
+
+func TestPassThroughWhenZero(t *testing.T) {
+	client, server, cleanup := tcpPair(t, Options{})
+	defer cleanup()
+	go func() {
+		server.Write([]byte("hello"))
+		server.Close()
+	}()
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q, want hello", got)
+	}
+}
+
+func TestWriteChunking(t *testing.T) {
+	client, server, cleanup := tcpPair(t, Options{WriteChunk: 3})
+	defer cleanup()
+	payload := bytes.Repeat([]byte("abcdefg"), 100)
+	go func() {
+		n, err := server.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("write: n=%d err=%v", n, err)
+		}
+		server.Close()
+	}()
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("chunked write corrupted payload: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	// ResetProb 1: the first operation must fail with an injected reset.
+	client, server, cleanup := tcpPair(t, Options{Seed: 7, ResetProb: 1})
+	defer cleanup()
+	if _, err := server.Write([]byte("x")); err == nil {
+		t.Fatal("expected injected reset on write")
+	}
+	buf := make([]byte, 1)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(buf); err == nil {
+		t.Fatal("peer read should fail after reset")
+	}
+}
+
+func TestTruncatedWriteDeliversPrefixThenCloses(t *testing.T) {
+	client, server, cleanup := tcpPair(t, Options{Seed: 42, TruncateProb: 1})
+	defer cleanup()
+	payload := bytes.Repeat([]byte("z"), 1024)
+	done := make(chan int, 1)
+	go func() {
+		n, err := server.Write(payload)
+		if err == nil {
+			t.Error("truncated write should report an error")
+		}
+		done <- n
+	}()
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(client)
+	n := <-done
+	if len(got) >= len(payload) {
+		t.Fatalf("expected a truncated payload, got all %d bytes", len(got))
+	}
+	if len(got) != n {
+		t.Fatalf("peer saw %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+func TestAcceptErrEveryIsTemporaryAndLosesNoConnection(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := Wrap(inner, Options{AcceptErrEvery: 2})
+	defer ln.Close()
+
+	const dials = 6
+	for i := 0; i < dials; i++ {
+		go func() {
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err == nil {
+				c.Write([]byte("!"))
+				c.Close()
+			}
+		}()
+	}
+	accepted, temporary := 0, 0
+	deadline := time.Now().Add(10 * time.Second)
+	for accepted < dials && time.Now().Before(deadline) {
+		c, err := ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Temporary() {
+				t.Fatalf("accept: non-temporary error %v", err)
+			}
+			temporary++
+			continue
+		}
+		accepted++
+		c.Close()
+	}
+	if accepted != dials {
+		t.Fatalf("accepted %d of %d connections", accepted, dials)
+	}
+	if temporary == 0 {
+		t.Fatal("expected at least one injected temporary accept error")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// Two listeners with the same seed must produce the same fault
+	// decisions for the same operation sequence.
+	sample := func() []bool {
+		c := &Conn{opts: Options{ResetProb: 0.5}, rng: rand.New(rand.NewSource(99))}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, reset, _, _ := c.roll()
+			out = append(out, reset)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+	}
+}

@@ -1,8 +1,15 @@
 package graph
 
 import (
+	"errors"
 	"sync"
 )
+
+// ErrStopped reports a multi-source traversal halted by its cancellation
+// signal before every source was merged. The caller that closed the signal
+// (the executor's Context) maps it to the typed cause — timeout or
+// cancellation.
+var ErrStopped = errors.New("graph: traversal stopped by cancellation")
 
 // This file implements the scheduling kernel behind the engine's parallel
 // multi-source traversals (the ParallelPathScan operator). The paper's
@@ -38,6 +45,7 @@ type MultiSourceIter struct {
 	sem     chan struct{}
 	out     chan srcResult
 	done    chan struct{}
+	ext     <-chan struct{} // external cancellation signal (may be nil)
 	once    sync.Once
 	wg      sync.WaitGroup
 	pending map[int]srcResult
@@ -54,10 +62,16 @@ type MultiSourceIter struct {
 // kernel would emit it; it is called from worker goroutines, so everything
 // it touches must be either read-only or owned by the call.
 //
+// done, when non-nil, is the query's cancellation signal: once it closes,
+// the dispatcher stops handing out sources, workers pick up no new work,
+// and Next reports ErrStopped instead of blocking on results that will
+// never be produced. Individual runs observe the same signal through their
+// kernels' Spec.Done.
+//
 // Callers must Close the iterator (even after draining it) before the
 // state run reads can change again: Close cancels undispatched sources and
 // waits for in-flight runs to finish.
-func RunMultiSource(n, workers int, run func(i int) ([]*Path, error)) *MultiSourceIter {
+func RunMultiSource(done <-chan struct{}, n, workers int, run func(i int) ([]*Path, error)) *MultiSourceIter {
 	if workers > n {
 		workers = n
 	}
@@ -71,6 +85,7 @@ func RunMultiSource(n, workers int, run func(i int) ([]*Path, error)) *MultiSour
 		sem:     make(chan struct{}, window),
 		out:     make(chan srcResult, window),
 		done:    make(chan struct{}),
+		ext:     done,
 		pending: make(map[int]srcResult, window),
 	}
 	// Dispatcher: feeds source indexes in order, never running more than
@@ -85,10 +100,14 @@ func RunMultiSource(n, workers int, run func(i int) ([]*Path, error)) *MultiSour
 			case it.sem <- struct{}{}:
 			case <-it.done:
 				return
+			case <-it.ext:
+				return
 			}
 			select {
 			case it.tasks <- i:
 			case <-it.done:
+				return
+			case <-it.ext:
 				return
 			}
 		}
@@ -98,6 +117,14 @@ func RunMultiSource(n, workers int, run func(i int) ([]*Path, error)) *MultiSour
 		go func() {
 			defer it.wg.Done()
 			for i := range it.tasks {
+				// Cooperative check between sources: once the query is
+				// canceled, pick up no new work. The run itself observes
+				// the same signal through its kernel's Spec.Done.
+				select {
+				case <-it.ext:
+					return
+				default:
+				}
 				paths, err := run(i)
 				select {
 				case it.out <- srcResult{idx: i, paths: paths, err: err}:
@@ -126,14 +153,23 @@ func (it *MultiSourceIter) Next() *Path {
 			return nil
 		}
 		// Advance to the next source in merge order, buffering any
-		// results that arrive out of order.
+		// results that arrive out of order. Canceled queries stop
+		// dispatching sources, so also watch the external signal or the
+		// merge would wait forever for results that will never arrive.
 		for {
 			if r, ok := it.pending[it.next]; ok {
 				delete(it.pending, it.next)
 				it.admit(r)
 				break
 			}
-			r := <-it.out
+			var r srcResult
+			select {
+			case r = <-it.out:
+			case <-it.ext:
+				it.err = ErrStopped
+				it.Close()
+				return nil
+			}
 			<-it.sem // one more source may be dispatched
 			if r.idx == it.next {
 				it.admit(r)

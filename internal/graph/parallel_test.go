@@ -59,7 +59,7 @@ func TestMultiSourceMatchesSequential(t *testing.T) {
 	want := drainSeq(g, starts, spec)
 
 	for _, workers := range []int{1, 2, 3, 4, 8, 64} {
-		it := RunMultiSource(len(starts), workers, func(i int) ([]*Path, error) {
+		it := RunMultiSource(nil, len(starts), workers, func(i int) ([]*Path, error) {
 			// Jitter completion order so the merge has to reorder.
 			time.Sleep(time.Duration(i%3) * time.Millisecond / 4)
 			var out []*Path
@@ -92,7 +92,7 @@ func TestMultiSourceError(t *testing.T) {
 	g.Vertices(func(v *Vertex) bool { starts = append(starts, v); return true })
 	boom := errors.New("boom")
 	const failAt = 5
-	it := RunMultiSource(len(starts), 4, func(i int) ([]*Path, error) {
+	it := RunMultiSource(nil, len(starts), 4, func(i int) ([]*Path, error) {
 		if i == failAt {
 			return nil, boom
 		}
@@ -125,7 +125,7 @@ func TestMultiSourceEarlyClose(t *testing.T) {
 	g := chainGraph(t, 200)
 	var starts []*Vertex
 	g.Vertices(func(v *Vertex) bool { starts = append(starts, v); return true })
-	it := RunMultiSource(len(starts), 4, func(i int) ([]*Path, error) {
+	it := RunMultiSource(nil, len(starts), 4, func(i int) ([]*Path, error) {
 		var out []*Path
 		bfs := NewBFS(g, Spec{Start: starts[i], MinLen: 1, MaxLen: 8})
 		for p := bfs.Next(); p != nil; p = bfs.Next() {
@@ -147,7 +147,7 @@ func TestMultiSourceEarlyClose(t *testing.T) {
 
 // TestMultiSourceEmpty covers n == 0.
 func TestMultiSourceEmpty(t *testing.T) {
-	it := RunMultiSource(0, 4, func(i int) ([]*Path, error) {
+	it := RunMultiSource(nil, 0, 4, func(i int) ([]*Path, error) {
 		t.Error("run called for empty source set")
 		return nil, nil
 	})

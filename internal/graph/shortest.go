@@ -55,6 +55,7 @@ type spIter struct {
 	count  map[*Vertex]int // times a vertex has been settled
 	err    error
 	done   bool
+	halt   stopper
 }
 
 // NewShortest creates a shortest-path traversal (the paper's SPScan).
@@ -72,7 +73,8 @@ func NewShortest(g *Graph, spec Spec, weight WeightFunc, k int) *spIter {
 	if k < 1 {
 		k = 1
 	}
-	it := &spIter{g: g, spec: spec, weight: weight, k: k, count: make(map[*Vertex]int)}
+	it := &spIter{g: g, spec: spec, weight: weight, k: k,
+		count: make(map[*Vertex]int), halt: stopper{done: spec.Done}}
 	if !spec.admitStart() {
 		it.done = true
 		return it
@@ -93,6 +95,9 @@ func (it *spIter) Err() error { return it.err }
 // Next returns the next path in nondecreasing cost order, or nil.
 func (it *spIter) Next() *Path {
 	for !it.done && it.err == nil && it.h.Len() > 0 {
+		if it.halt.stop() {
+			break
+		}
 		n := heap.Pop(&it.h).(spItem).node
 		end := n.v
 		if it.count[end] >= it.k {

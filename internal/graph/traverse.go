@@ -54,6 +54,43 @@ type Spec struct {
 	// returns false to drop it and its extensions. Used for pushed-down
 	// monotone aggregate bounds such as SUM(PS.Edges.Cost) < 10 (§6.2).
 	Prune func(p *Path) bool
+	// Done, when non-nil, makes the traversal cooperative: the kernels poll
+	// the channel (amortized, every stopCheckMask+1 steps) and halt early
+	// once it is closed. A halted kernel simply stops emitting — the layer
+	// that closed the channel (the executor's cancellation signal) knows
+	// the cause and reports the typed error.
+	Done <-chan struct{}
+}
+
+// stopCheckMask amortizes Done polling in the traversal hot loops: the
+// channel is polled every 64 steps, bounding both the per-step overhead
+// and the number of hops a canceled traversal may still take.
+const stopCheckMask = 63
+
+// stopper is the kernels' shared cancellation poller. Each iterator owns
+// one (single-goroutine, like all kernel state).
+type stopper struct {
+	done    <-chan struct{}
+	ticks   uint
+	stopped bool
+}
+
+// stop reports whether the traversal should halt, polling the underlying
+// channel every stopCheckMask+1 calls. Once fired it stays fired.
+func (s *stopper) stop() bool {
+	if s.done == nil || s.stopped {
+		return s.stopped
+	}
+	s.ticks++
+	if s.ticks&stopCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-s.done:
+		s.stopped = true
+	default:
+	}
+	return s.stopped
 }
 
 // PathIterator lazily produces traversal results.
@@ -127,11 +164,12 @@ type dfsIter struct {
 	// working path stayed unchanged.
 	pending *Path
 	done    bool
+	halt    stopper
 }
 
 // NewDFS creates a depth-first traversal over g (the paper's DFScan).
 func NewDFS(g *Graph, spec Spec) PathIterator {
-	it := &dfsIter{g: g, spec: spec}
+	it := &dfsIter{g: g, spec: spec, halt: stopper{done: spec.Done}}
 	if !spec.admitStart() {
 		it.done = true
 		return it
@@ -192,6 +230,9 @@ func (it *dfsIter) Next() *Path {
 		return nil
 	}
 	for it.depth > 0 {
+		if it.halt.stop() {
+			break
+		}
 		f := &it.stack[it.depth-1]
 		if f.next >= len(f.edges) {
 			it.popFrame()
@@ -273,12 +314,14 @@ type bfsIter struct {
 	pendingRoot bool
 	root        *pnode
 	done        bool
+	halt        stopper
 }
 
 // NewBFS creates a breadth-first traversal over g (the paper's BFScan).
 // Paths are emitted in nondecreasing length order.
 func NewBFS(g *Graph, spec Spec) PathIterator {
-	it := &bfsIter{g: g, spec: spec, visited: make(map[*Vertex]bool)}
+	it := &bfsIter{g: g, spec: spec, visited: make(map[*Vertex]bool),
+		halt: stopper{done: spec.Done}}
 	if !spec.admitStart() {
 		it.done = true
 		return it
@@ -298,6 +341,9 @@ func (it *bfsIter) Next() *Path {
 		return it.root.materialize(nil, nil)
 	}
 	for !it.done {
+		if it.halt.stop() {
+			break
+		}
 		if it.cur == nil {
 			if len(it.queue) == 0 {
 				break
@@ -321,6 +367,10 @@ func (it *bfsIter) Next() *Path {
 		n := it.cur
 		pos := n.depth
 		for it.curIdx < len(it.curEdges) {
+			if it.halt.stop() {
+				it.done = true
+				return nil
+			}
 			e, to := it.curEdges[it.curIdx], it.curTos[it.curIdx]
 			it.curIdx++
 			// Final-depth fast path: see the DFS counterpart.

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/exec"
+	"grfusion/internal/faultnet"
+)
+
+// TestChaosSoak drives the server through a network-fault storm under the
+// race detector: every client connection suffers injected delays, partial
+// writes, truncated payloads, mid-stream resets, and transient accept
+// errors, while some statements panic, some exceed their deadline, and
+// some are shed by admission control. The server must never crash, never
+// deadlock, and still answer a well-formed statement when the storm ends.
+//
+// GRF_SOAK extends the storm duration (seconds), e.g. GRF_SOAK=30 in the
+// CI chaos job; the default keeps `go test ./...` fast.
+func TestChaosSoak(t *testing.T) {
+	duration := 1500 * time.Millisecond
+	if s := os.Getenv("GRF_SOAK"); s != "" {
+		var secs int
+		if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+			duration = time.Duration(secs) * time.Second
+		}
+	}
+
+	// The engine logs every recovered panic stack through the standard
+	// logger; hundreds of injected panics would swamp the test output.
+	prevOut := log.Writer()
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prevOut)
+
+	eng := core.New(core.Options{Workers: 2})
+	srv := NewWith(eng, Config{
+		MaxConcurrent: 4,
+		QueryTimeout:  500 * time.Millisecond,
+		IdleTimeout:   2 * time.Second,
+		WriteTimeout:  2 * time.Second,
+		DrainTimeout:  10 * time.Second,
+		Logger:        quietLogger(),
+	})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.Wrap(inner, faultnet.Options{
+		Seed:           1,
+		MaxDelay:       500 * time.Microsecond,
+		WriteChunk:     7,
+		ResetProb:      0.02,
+		TruncateProb:   0.02,
+		AcceptErrEvery: 5,
+	})
+	go srv.Serve(ln)
+	addr := inner.Addr().String()
+
+	// Seed schema and data over a dedicated, fault-free path: the engine
+	// API directly (the storm only matters for the serving path).
+	seed := []string{
+		`CREATE TABLE V (vid BIGINT PRIMARY KEY)`,
+		`CREATE TABLE E (eid BIGINT PRIMARY KEY, a BIGINT, b BIGINT)`,
+		`CREATE TABLE Boom (a BIGINT)`,
+		`CREATE TABLE Rows (id BIGINT PRIMARY KEY, v BIGINT)`,
+	}
+	for _, q := range seed {
+		if _, err := eng.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eid := 0
+	for a := 1; a <= 8; a++ {
+		if _, err := eng.Execute(fmt.Sprintf(`INSERT INTO V VALUES (%d)`, a)); err != nil {
+			t.Fatal(err)
+		}
+		for b := 1; b <= 8; b++ {
+			if a == b {
+				continue
+			}
+			eid++
+			if _, err := eng.Execute(fmt.Sprintf(`INSERT INTO E VALUES (%d,%d,%d)`, eid, a, b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := eng.Execute(`CREATE DIRECTED GRAPH VIEW K
+		VERTEXES(ID = vid) FROM V
+		EDGES(ID = eid, FROM = a, TO = b) FROM E`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Injected operator panic: any statement scanning Boom dies inside the
+	// executor; the server must convert that into an error response.
+	exec.DebugPanicTable = "Boom"
+	defer func() { exec.DebugPanicTable = "" }()
+
+	statements := []string{
+		`SELECT COUNT(*) FROM V`,
+		`SELECT COUNT(*) FROM E WHERE a < 4`,
+		`SELECT PS.PathString FROM K.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2 LIMIT 5`,
+		`SELECT COUNT(*) FROM K.Paths PS HINT(DFS, ALLPATHS) WHERE PS.StartVertex.Id = 2`, // hits QueryTimeout
+		`SELECT * FROM Boom`,           // injected panic
+		`SELECT * FROM NoSuchTable`,    // plain error
+		`this is not even SQL`,         // parse error
+		`INSERT INTO Rows VALUES (-1)`, // constraint/arity error
+	}
+
+	var (
+		wg        sync.WaitGroup
+		ops       atomic.Int64
+		successes atomic.Int64
+		insertID  atomic.Int64
+	)
+	deadline := time.Now().Add(duration)
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			var c *Client
+			defer func() {
+				if c != nil {
+					c.Close()
+				}
+			}()
+			for time.Now().Before(deadline) {
+				if c == nil {
+					var err error
+					c, err = DialWith(addr, Options{
+						ConnectTimeout: 2 * time.Second,
+						RequestTimeout: 2 * time.Second,
+						MaxRetries:     2,
+						RetryBase:      5 * time.Millisecond,
+					})
+					if err != nil {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+				}
+				var q string
+				if rng.Intn(4) == 0 {
+					q = fmt.Sprintf(`INSERT INTO Rows VALUES (%d, %d)`, insertID.Add(1), rng.Intn(1000))
+				} else {
+					q = statements[rng.Intn(len(statements))]
+				}
+				ops.Add(1)
+				if _, err := c.Exec(q); err != nil {
+					var se *ServerError
+					if asServerError(err, &se) {
+						// An orderly server-side error: the connection is
+						// still synchronized and reusable.
+						continue
+					}
+					// Wire-level failure (injected fault): reconnect.
+					c.Close()
+					c = nil
+					continue
+				}
+				successes.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if ops.Load() == 0 {
+		t.Fatal("soak performed no operations")
+	}
+	if successes.Load() == 0 {
+		t.Fatal("no statement ever succeeded through the fault storm")
+	}
+	t.Logf("soak: %d ops, %d clean successes over %v", ops.Load(), successes.Load(), duration)
+
+	// The storm is over; the server must still serve. The listener still
+	// injects faults, so allow a few attempts.
+	exec.DebugPanicTable = ""
+	healthy := false
+	for attempt := 0; attempt < 30 && !healthy; attempt++ {
+		c, err := DialWith(addr, Options{ConnectTimeout: 2 * time.Second, RequestTimeout: 5 * time.Second})
+		if err != nil {
+			continue
+		}
+		res, err := c.Exec(`SELECT COUNT(*) FROM V`)
+		c.Close()
+		if err == nil && len(res.Rows) == 1 && res.Rows[0][0].I == 8 {
+			healthy = true
+		}
+	}
+	if !healthy {
+		t.Fatal("server unhealthy after the fault storm")
+	}
+
+	// And it still shuts down gracefully.
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown hung after the fault storm")
+	}
+}
+
+// TestChaosServerNeverWedgesOnTornRequests hammers the raw wire with
+// garbage fragments and torn frames; the server must keep accepting and
+// serving clean connections throughout.
+func TestChaosTornFrames(t *testing.T) {
+	_, addr := startServerWith(t, Config{IdleTimeout: time.Second, Logger: quietLogger()})
+	// Torn and garbage writers.
+	for i := 0; i < 20; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 4 {
+		case 0:
+			conn.Write([]byte(`{"query": "SELECT`)) // torn mid-frame, no newline
+		case 1:
+			conn.Write([]byte("\x00\xff\xfe garbage\n"))
+		case 2:
+			conn.Write([]byte(`{"query": 42}` + "\n")) // wrong type
+		case 3:
+			// half a JSON string then an abrupt close
+			conn.Write([]byte(`{"query": "SELECT * FR`))
+		}
+		conn.Close()
+	}
+	// A clean client is unaffected.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`SHOW TABLES`); err != nil {
+		t.Fatalf("clean connection failed amid torn frames: %v", err)
+	}
+}

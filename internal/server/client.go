@@ -3,32 +3,68 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"grfusion/internal/types"
 )
 
+// Options tune a Client's fault-tolerance envelope. The zero value means
+// no timeouts and no retries (the pre-hardening behavior).
+type Options struct {
+	// ConnectTimeout bounds the initial dial. Zero means no bound.
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip on the wire
+	// and is also sent to the server as timeout_ms so the statement itself
+	// is deadline-bounded. Zero means no bound.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times Exec re-submits a statement the server
+	// shed with a retryable error (admission control). Only retryable
+	// errors are retried: the statement never started, so re-submitting
+	// cannot double-execute it. Zero disables retries.
+	MaxRetries int
+	// RetryBase is the first retry backoff, doubled per attempt with
+	// jitter. Zero selects 10ms.
+	RetryBase time.Duration
+}
+
 // Client is a synchronous connection to a GRFusion server. It is safe for
 // concurrent use; requests are serialized over the single connection.
 type Client struct {
+	opts Options
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// broken poisons the connection after a mid-exchange failure (e.g. a
+	// request whose response never arrived before RequestTimeout): the
+	// stream may hold a stale response, so no further request can trust
+	// what it reads.
+	broken error
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a server with no timeouts or retries configured.
+func Dial(addr string) (*Client, error) { return DialWith(addr, Options{}) }
+
+// DialWith connects to a server with the given fault-tolerance options.
+func DialWith(addr string, opts Options) (*Client, error) {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 10 * time.Millisecond
+	}
+	d := net.Dialer{Timeout: opts.ConnectTimeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	dec.UseNumber()
-	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: dec}, nil
+	return &Client{opts: opts, conn: conn, enc: json.NewEncoder(conn), dec: dec}, nil
 }
 
 // Close tears the connection down.
@@ -41,20 +77,76 @@ type Result struct {
 	Affected int
 }
 
+// ServerError is an error reported by the server for one statement.
+type ServerError struct {
+	Msg string
+	// Retryable marks a shed statement that never started executing.
+	Retryable bool
+}
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
 // Exec submits one statement and waits for its response. Server-side
-// errors come back as Go errors.
+// errors come back as *ServerError. Statements shed by the server's
+// admission control (retryable errors) are retried up to MaxRetries times
+// with exponential backoff; other failures are never retried, since the
+// statement may have executed.
 func (c *Client) Exec(query string) (*Result, error) {
+	return c.ExecTimeout(query, c.opts.RequestTimeout)
+}
+
+// ExecTimeout is Exec with an explicit per-call bound overriding
+// Options.RequestTimeout: the round trip gets a wire deadline and the
+// server is asked to bound the statement with timeout_ms. Zero means no
+// bound.
+func (c *Client) ExecTimeout(query string, timeout time.Duration) (*Result, error) {
+	backoff := c.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		res, err := c.once(query, timeout)
+		var se *ServerError
+		if err == nil || !errors.As(err, &se) || !se.Retryable || attempt >= c.opts.MaxRetries {
+			return res, err
+		}
+		// Full jitter: sleep a uniform fraction of the doubling backoff so
+		// shed clients don't re-arrive in lockstep.
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff) + 1)))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func (c *Client) once(query string, timeout time.Duration) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(Request{Query: query}); err != nil {
+	if c.broken != nil {
+		return nil, fmt.Errorf("connection poisoned by earlier failure (reconnect required): %w", c.broken)
+	}
+	req := Request{Query: query}
+	if timeout > 0 {
+		req.TimeoutMS = int64(timeout / time.Millisecond)
+		if req.TimeoutMS == 0 {
+			req.TimeoutMS = 1
+		}
+		// The wire deadline leaves headroom over the statement deadline so
+		// a server-side timeout error normally arrives as a response.
+		c.conn.SetDeadline(time.Now().Add(timeout + 2*time.Second))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.broken = err
 		return nil, fmt.Errorf("send: %w", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		// The request is in flight but its response was never read; any
+		// later read could see this statement's stale response.
+		c.broken = err
 		return nil, fmt.Errorf("receive: %w", err)
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("server: %s", resp.Error)
+		return nil, &ServerError{Msg: resp.Error, Retryable: resp.Retryable}
 	}
 	out := &Result{Columns: resp.Columns, Affected: resp.Affected}
 	for _, wire := range resp.Rows {

@@ -4,30 +4,58 @@
 // response object per line. The engine serializes statement execution
 // internally, so any number of connections may be served concurrently.
 //
-// Request:  {"query": "SELECT ..."}
+// Request:  {"query": "SELECT ...", "timeout_ms": 100}
 // Response: {"columns": [...], "rows": [[...], ...], "affected": 0}
 //
-//	or {"error": "..."}
+//	or {"error": "...", "retryable": true}
 //
 // Values are encoded as their natural JSON types; BIGINTs survive
 // round-trips via json.Number. Paths are rendered as their PathString.
+//
+// The server hardens the query lifecycle (VoltDB-style admission and
+// timeout management):
+//
+//   - per-statement deadlines: a client-supplied timeout_ms and the
+//     server's QueryTimeout both bound execution; expired statements abort
+//     cooperatively with a typed timeout error, not a hang.
+//   - admission control: at most MaxConcurrent statements execute at once;
+//     excess requests are shed immediately with a retryable error.
+//   - panic isolation: a panicking statement produces an error response on
+//     its connection (stack logged) and the server keeps serving.
+//   - bounded I/O: idle connections and stuck writes are reaped by
+//     IdleTimeout/WriteTimeout; oversized request lines get a diagnostic
+//     error response instead of a silent hangup.
+//   - graceful-but-bounded shutdown: Shutdown stops accepting, lets
+//     in-flight statements finish and flush their responses, and only
+//     force-closes connections after DrainTimeout.
 package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"grfusion/internal/core"
 	"grfusion/internal/types"
 )
 
+// maxRequestBytes caps one request line (the scanner buffer limit).
+const maxRequestBytes = 16 << 20
+
 // Request is one statement submission.
 type Request struct {
 	Query string `json:"query"`
+	// TimeoutMS bounds this statement's execution in milliseconds; zero
+	// means no client-side bound (the server's QueryTimeout, if any, still
+	// applies — the effective deadline is the tighter of the two).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Response is the outcome of one statement.
@@ -36,22 +64,78 @@ type Response struct {
 	Rows     [][]any  `json:"rows,omitempty"`
 	Affected int      `json:"affected,omitempty"`
 	Error    string   `json:"error,omitempty"`
+	// Retryable marks an error the client may safely retry because the
+	// statement was never started (e.g. shed by admission control).
+	Retryable bool `json:"retryable,omitempty"`
 }
+
+// Config tunes the server's robustness envelope. The zero value imposes no
+// limits (matching the pre-hardening behavior, except that Shutdown drains
+// gracefully).
+type Config struct {
+	// MaxConcurrent bounds how many statements may execute at once across
+	// all connections. Excess requests are shed immediately with a
+	// retryable error response (no queueing — the engine's statement lock
+	// is the queue). Zero means unlimited.
+	MaxConcurrent int
+	// QueryTimeout bounds each statement's execution wall clock. A
+	// client's timeout_ms may only tighten it. Zero means no server bound.
+	QueryTimeout time.Duration
+	// IdleTimeout closes connections with no request for this long. Zero
+	// means never.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero means no bound.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for in-flight statements
+	// to finish before force-closing connections and canceling their
+	// queries. Zero selects a 10s default; negative waits indefinitely.
+	DrainTimeout time.Duration
+	// Logger receives operational messages (recovered panics, accept
+	// retries). Nil uses the standard logger.
+	Logger *log.Logger
+}
+
+// defaultDrainTimeout bounds Shutdown when Config.DrainTimeout is zero.
+const defaultDrainTimeout = 10 * time.Second
 
 // Server serves one engine over TCP.
 type Server struct {
 	eng *core.Engine
+	cfg Config
+	sem chan struct{} // admission tokens; nil = unlimited
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// baseCtx parents every statement context; canceled on forced
+	// shutdown so in-flight queries abort instead of outliving the server.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 }
 
-// New creates a server around an engine.
-func New(eng *core.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+// New creates a server around an engine with no limits configured.
+func New(eng *core.Engine) *Server { return NewWith(eng, Config{}) }
+
+// NewWith creates a server with the given robustness configuration.
+func NewWith(eng *core.Engine, cfg Config) *Server {
+	s := &Server{eng: eng, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // ListenAndServe listens on addr (e.g. "127.0.0.1:21212") and serves until
@@ -74,7 +158,10 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Serve accepts connections on ln until Shutdown closes it.
+// Serve accepts connections on ln until Shutdown closes it. Temporary
+// accept errors (e.g. file-descriptor exhaustion, transient network
+// faults) are retried with exponential backoff instead of killing the
+// accept loop.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -84,6 +171,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -93,8 +181,23 @@ func (s *Server) Serve(ln net.Listener) error {
 			if closed {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else {
+					backoff *= 2
+					if backoff > time.Second {
+						backoff = time.Second
+					}
+				}
+				s.logf("server: temporary accept error (retrying in %v): %v", backoff, err)
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -108,19 +211,56 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Shutdown closes the listener and all connections and waits for handlers
-// to drain.
-func (s *Server) Shutdown() {
+// Shutdown stops the server gracefully: it closes the listener, nudges
+// idle connections, waits for in-flight statements to finish and flush
+// their responses, and after the configured DrainTimeout force-closes
+// whatever remains (canceling still-running queries).
+func (s *Server) Shutdown() { s.ShutdownTimeout(s.cfg.DrainTimeout) }
+
+// ShutdownTimeout is Shutdown with an explicit drain bound (zero selects
+// the 10s default; negative waits indefinitely).
+func (s *Server) ShutdownTimeout(drain time.Duration) {
+	if drain == 0 {
+		drain = defaultDrainTimeout
+	}
 	s.mu.Lock()
 	s.closed = true
+	s.draining = true
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	// Wake handlers blocked reading the next request; handlers mid-execute
+	// still flush their response before observing the expired deadline.
+	now := time.Now()
 	for c := range s.conns {
-		c.Close()
+		c.SetReadDeadline(now)
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var expired <-chan time.Time
+	if drain > 0 {
+		t := time.NewTimer(drain)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.logf("server: drain timeout (%v) elapsed; force-closing connections", drain)
+		s.baseCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.baseCancel()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -132,32 +272,94 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	sc.Buffer(make([]byte, 1<<20), maxRequestBytes)
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
-	for sc.Scan() {
+	send := func(resp *Response) bool {
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := enc.Encode(resp); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			// The current statement (if any) already flushed its response;
+			// stop reading new requests so Shutdown can complete.
+			return
+		}
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !sc.Scan() {
+			// A request line over the buffer cap is a client bug worth
+			// diagnosing: answer with the limit before hanging up (the
+			// stream cannot be re-synchronized mid-line).
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				send(&Response{Error: fmt.Sprintf(
+					"request too large: one request line is limited to %d bytes", maxRequestBytes)})
+			}
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var req Request
-		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = fmt.Sprintf("bad request: %v", err)
-		} else {
-			resp = s.execute(&req)
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
+		resp := s.serveLine(line)
+		if !send(&resp) {
 			return
 		}
 	}
 }
 
+// serveLine decodes and executes one request line, converting a panic
+// anywhere in the statement path into an error response so one poisoned
+// query cannot take down the server.
+func (s *Server) serveLine(line []byte) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: recovered statement panic: %v\n%s", r, debug.Stack())
+			resp = Response{Error: fmt.Sprintf("internal error: statement aborted by panic: %v", r)}
+		}
+	}()
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return Response{Error: fmt.Sprintf("bad request: %v", err)}
+	}
+	return s.execute(&req)
+}
+
 func (s *Server) execute(req *Request) Response {
-	res, err := s.eng.Execute(req.Query)
+	// Admission control: shed instead of queueing — a shed statement never
+	// started, so the client can retry safely.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			return Response{
+				Error:     fmt.Sprintf("server overloaded: %d statements already executing", cap(s.sem)),
+				Retryable: true,
+			}
+		}
+	}
+	ctx := s.baseCtx
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.eng.ExecuteContext(ctx, req.Query)
 	if err != nil {
 		return Response{Error: err.Error()}
 	}

@@ -221,3 +221,16 @@ type Show struct {
 }
 
 func (*Show) stmt() {}
+
+// Set is SET <name> = <int>, an engine tunable. The engine currently
+// accepts QUERY_TIMEOUT (a per-statement deadline in milliseconds; 0
+// disables it), mirroring the per-statement timeouts of the paper's host
+// system (VoltDB).
+type Set struct {
+	// Name is the upper-cased tunable name.
+	Name string
+	// Value is the integer value.
+	Value int64
+}
+
+func (*Set) stmt() {}

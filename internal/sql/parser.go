@@ -175,6 +175,8 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &TruncateTable{Name: name}, nil
+	case "SET":
+		return p.parseSet()
 	case "SHOW":
 		p.i++
 		switch {
@@ -196,6 +198,30 @@ func (p *parser) parseStatement() (Statement, error) {
 	default:
 		return nil, p.errf("unsupported statement %s", t)
 	}
+}
+
+// parseSet parses SET <name> = <int> (e.g. SET QUERY_TIMEOUT = 50). The
+// value may carry a leading '-' so out-of-range settings fail in the
+// engine with a meaningful message rather than in the lexer.
+func (p *parser) parseSet() (Statement, error) {
+	p.i++ // SET
+	name, err := p.identOrKeyword()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	neg := p.acceptSymbol("-")
+	n, err := p.intLit()
+	if err != nil {
+		return nil, err
+	}
+	v := int64(n)
+	if neg {
+		v = -v
+	}
+	return &Set{Name: strings.ToUpper(name), Value: v}, nil
 }
 
 // --- DDL -------------------------------------------------------------------
