@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench oracle chaos fmt vet clean
+.PHONY: all build test race fuzz bench metrics oracle chaos fmt vet clean
 
 all: build test
 
@@ -36,6 +36,12 @@ chaos:
 bench:
 	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json
 
+# Observability overhead: proves the metrics layer is free when idle and
+# that armed slow-query instrumentation stays within a few percent on real
+# traversal statements. CI uploads the artifact on every run.
+metrics:
+	$(GO) run ./cmd/grbench -exp observability -queries 10 -json BENCH_observability.json
+
 fmt:
 	gofmt -l -w .
 
@@ -44,4 +50,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_concurrency.json ORACLE_repro.sql
+	rm -f BENCH_concurrency.json BENCH_observability.json ORACLE_repro.sql

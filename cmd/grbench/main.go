@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, oracle, all)")
+		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, observability, oracle, all)")
 		expAlias = flag.String("experiment", "", "alias for -exp")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		queries  = flag.Int("queries", 10, "query instances averaged per data point")

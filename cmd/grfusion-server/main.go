@@ -7,7 +7,12 @@
 //	grfusion-server [-addr 127.0.0.1:21212] [-restore snap.gob] [-script init.sql]
 //	                [-mem bytes] [-stats 30s] [-workers N]
 //	                [-query-timeout 0] [-max-concurrent 0] [-idle-timeout 0]
-//	                [-drain-timeout 10s]
+//	                [-drain-timeout 10s] [-slow-query 0]
+//	                [-metrics-addr 127.0.0.1:21213]
+//
+// -metrics-addr serves the observability endpoint over HTTP: /metrics is
+// the flat JSON form of SHOW METRICS, /debug/vars the expvar view.
+// -slow-query arms the engine's slow-query log at the given threshold.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish
 // and flush their responses, bounded by -drain-timeout.
@@ -16,6 +21,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,10 +45,18 @@ func main() {
 		idleTimeout   = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		writeTimeout  = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown drain bound (0 = 10s default, negative = unbounded)")
+
+		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this (0 = disabled; SET SLOW_QUERY adjusts at runtime)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/vars (expvar) over HTTP on this address (empty = disabled)")
 	)
 	flag.Parse()
 
-	eng := core.New(core.Options{MemLimit: *mem, Workers: *workers, QueryTimeout: *queryTimeout})
+	eng := core.New(core.Options{
+		MemLimit:     *mem,
+		Workers:      *workers,
+		QueryTimeout: *queryTimeout,
+		SlowQuery:    *slowQuery,
+	})
 	if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {
@@ -74,6 +89,19 @@ func main() {
 		WriteTimeout:  *writeTimeout,
 		DrainTimeout:  *drainTimeout,
 	})
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "grfusion-server: metrics on http://%s/metrics\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, server.MetricsMux(eng)); err != nil {
+				fmt.Fprintf(os.Stderr, "grfusion-server: metrics endpoint: %v\n", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -627,18 +627,20 @@ func All(cfg Config) []Row {
 	rows = append(rows, Fig11(cfg)...)
 	rows = append(rows, Ablation(cfg)...)
 	rows = append(rows, Concurrency(cfg)...)
+	rows = append(rows, Observability(cfg)...)
 	return rows
 }
 
 // Experiments maps experiment ids to their runners, for cmd/grbench.
 var Experiments = map[string]func(Config) []Row{
-	"table2":      Table2,
-	"fig7":        Fig7,
-	"fig8":        Fig8,
-	"fig9":        Fig9,
-	"fig10":       Fig10,
-	"table3":      Table3,
-	"fig11":       Fig11,
-	"ablation":    Ablation,
-	"concurrency": Concurrency,
+	"table2":        Table2,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"table3":        Table3,
+	"fig11":         Fig11,
+	"ablation":      Ablation,
+	"concurrency":   Concurrency,
+	"observability": Observability,
 }

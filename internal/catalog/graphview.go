@@ -66,6 +66,12 @@ type GraphView struct {
 	// stats holds the §6.3 statistics object, published by the engine's
 	// background refresher when statistics are enabled.
 	stats atomic.Pointer[GraphStats]
+
+	// maintOps counts incremental §3.3 maintenance operations applied to
+	// the topology since the view was built. A statistics object remembers
+	// the count it was computed at, so readers can detect statistics that
+	// predate heavy DML (see FreshStats).
+	maintOps atomic.Int64
 }
 
 // NewGraphView validates a definition against its source tables and builds
@@ -433,6 +439,9 @@ func (gv *GraphView) IncidentEdges(vertexID int64) []EdgeRef {
 
 // OnInsert maintains the topology after a tuple is inserted into table.
 func (gv *GraphView) OnInsert(table string, id storage.RowID, row types.Row) error {
+	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
+		gv.maintOps.Add(1)
+	}
 	if gv.IsVertexSource(table) {
 		vid, err := intAttr(row, gv.vIDPos, "vertex ID")
 		if err != nil {
@@ -462,6 +471,9 @@ var DebugSkipEdgeDelete bool
 // Vertex deletions expect the engine to have cascaded incident edge tuples
 // first (via IncidentEdges); any edges still present are removed here.
 func (gv *GraphView) OnDelete(table string, row types.Row) error {
+	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
+		gv.maintOps.Add(1)
+	}
 	if gv.IsEdgeSource(table) && !DebugSkipEdgeDelete {
 		eid, err := intAttr(row, gv.eIDPos, "edge ID")
 		if err != nil {
@@ -483,6 +495,9 @@ func (gv *GraphView) OnDelete(table string, row types.Row) error {
 // Identifier updates rename the graph element (§3.3.1); endpoint updates
 // rewire the edge.
 func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow types.Row) error {
+	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
+		gv.maintOps.Add(1)
+	}
 	if gv.IsVertexSource(table) {
 		oldID, err := intAttr(oldRow, gv.vIDPos, "vertex ID")
 		if err != nil {

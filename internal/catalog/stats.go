@@ -22,6 +22,10 @@ type GraphStats struct {
 	Vertices, Edges int
 	// UpdatedAt stamps the refresh.
 	UpdatedAt time.Time
+	// MaintOps is the view's maintenance-operation count at refresh time;
+	// FreshStats compares it against the live count to detect statistics
+	// that predate heavy DML.
+	MaintOps int64
 }
 
 // ComputeStats walks the topology and builds a fresh statistics object.
@@ -32,6 +36,7 @@ func (gv *GraphView) ComputeStats(now time.Time) *GraphStats {
 		Vertices:  gv.G.NumVertices(),
 		Edges:     gv.G.NumEdges(),
 		UpdatedAt: now,
+		MaintOps:  gv.maintOps.Load(),
 	}
 	gv.G.Vertices(func(v *graph.Vertex) bool {
 		if d := gv.G.FanOut(v); d > st.MaxFanOut {
@@ -49,3 +54,40 @@ func (gv *GraphView) SetStats(st *GraphStats) { gv.stats.Store(st) }
 // statistics configuration is disabled or no refresh has run yet (the
 // optimizer then falls back to the O(1) live average fan-out).
 func (gv *GraphView) Stats() *GraphStats { return gv.stats.Load() }
+
+// InvalidateStats withdraws the published statistics object. The engine
+// calls it when the topology is rebuilt wholesale (RebuildGraphView,
+// snapshot restore): counts measured on the previous topology must not
+// steer the §6.3 BFS/DFS choice on the new one.
+func (gv *GraphView) InvalidateStats() { gv.stats.Store(nil) }
+
+// MaintOps reports how many incremental maintenance operations have been
+// applied to the topology since the view was built.
+func (gv *GraphView) MaintOps() int64 { return gv.maintOps.Load() }
+
+// staleDriftFloor is the minimum number of maintenance operations that can
+// mark a statistics object stale; below it, drift on tiny graphs would
+// invalidate statistics after every handful of rows.
+const staleDriftFloor = 64
+
+// FreshStats returns the published statistics object only while it is
+// still representative: statistics drop out once the maintenance-operation
+// count has drifted by more than max(64, (V+E)/8) since they were
+// computed — bulk DML between refreshes otherwise leaves the optimizer
+// choosing physical operators from counts measured on a graph that no
+// longer exists. Returns nil when no fresh statistics are available (the
+// optimizer then falls back to the live O(1) average fan-out).
+func (gv *GraphView) FreshStats() *GraphStats {
+	st := gv.stats.Load()
+	if st == nil {
+		return nil
+	}
+	limit := int64(st.Vertices+st.Edges) / 8
+	if limit < staleDriftFloor {
+		limit = staleDriftFloor
+	}
+	if gv.maintOps.Load()-st.MaintOps > limit {
+		return nil
+	}
+	return st
+}

@@ -27,6 +27,7 @@ import (
 
 	"grfusion/internal/catalog"
 	"grfusion/internal/exec"
+	"grfusion/internal/metrics"
 	"grfusion/internal/plan"
 	"grfusion/internal/sql"
 	"grfusion/internal/storage"
@@ -80,6 +81,12 @@ type Options struct {
 	// (milliseconds) or SetQueryTimeout. Statements that exceed it abort
 	// cooperatively with ErrTimeout.
 	QueryTimeout time.Duration
+	// SlowQuery is the slow-query-log threshold: statements that run at
+	// least this long are counted and logged with their duration and (for
+	// queries) their top operators by self time. Zero disables the log; it
+	// can be changed at runtime with SET SLOW_QUERY (milliseconds) or
+	// SetSlowQuery.
+	SlowQuery time.Duration
 	// Planner options (pushdown/inference toggles for ablations).
 	Plan plan.Options
 }
@@ -100,6 +107,13 @@ type Engine struct {
 	// lock-wait time too.
 	queryTimeoutNS atomic.Int64
 
+	// slowQueryNS is the slow-query-log threshold in nanoseconds (0 =
+	// disabled), atomic for the same reason as queryTimeoutNS.
+	slowQueryNS atomic.Int64
+
+	// metrics is the engine-wide observability registry (see observe.go).
+	metrics metrics.Metrics
+
 	// Statistics-thread lifecycle (see stats.go).
 	statsMu   sync.Mutex
 	statsStop chan struct{}
@@ -110,6 +124,7 @@ type Engine struct {
 func New(opts Options) *Engine {
 	e := &Engine{cat: catalog.New(), opts: opts}
 	e.SetQueryTimeout(opts.QueryTimeout)
+	e.SetSlowQuery(opts.SlowQuery)
 	return e
 }
 
@@ -161,7 +176,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, query string) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteStmtContext(ctx, stmt)
+	return e.execStmt(ctx, stmt, query)
 }
 
 // ExecuteScript runs a semicolon-separated script, stopping at the first
@@ -210,6 +225,13 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 //     mutating statements the undo journal is not replayed across a panic,
 //     so the error also warns that state may be partially applied.
 func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (res *Result, err error) {
+	return e.execStmt(ctx, stmt, "")
+}
+
+// execStmt is the shared statement body behind ExecuteContext and
+// ExecuteStmtContext. text is the statement's SQL when the caller has it
+// (the slow-query log prefers it over a synthesized description).
+func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, text string) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -219,6 +241,15 @@ func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (re
 		defer cancel()
 	}
 	readOnly := plan.ReadOnly(stmt)
+	// prof is set when the slow-query log armed instrumentation for this
+	// statement's plan; the observe defer mines it for the top operators.
+	var prof *exec.Instrumented
+	start := time.Now()
+	// Deferred observation runs after the panic recovery below (LIFO), so
+	// it sees the final error including ErrQueryPanic.
+	defer func() {
+		e.observeStatement(stmtKind(stmt), text, time.Since(start), err, prof)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			log.Printf("core: recovered query panic: %v\n%s", r, debug.Stack())
@@ -230,20 +261,25 @@ func (e *Engine) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (re
 		}
 	}()
 	if readOnly {
+		lw := time.Now()
 		e.mu.RLock()
+		e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
 		defer e.mu.RUnlock()
 		switch s := stmt.(type) {
 		case *sql.Select:
-			return e.runSelect(ctx, s)
+			res, prof, err = e.runSelect(ctx, s)
+			return res, err
 		case *sql.Explain:
-			return e.runExplain(s)
+			return e.runExplain(ctx, s)
 		case *sql.Show:
 			return e.runShow(s)
 		}
 		// plan.ReadOnly and this switch must stay in sync.
 		return nil, fmt.Errorf("internal: unhandled read-only statement %T", stmt)
 	}
+	lw := time.Now()
 	e.mu.Lock()
+	e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
 	defer e.mu.Unlock()
 	// Writers serialize: a statement whose deadline elapsed while queueing
 	// behind other writers aborts before touching any state.
@@ -310,11 +346,16 @@ func (e *Engine) Explain(query string) (string, error) {
 }
 
 // runExplain plans the inner SELECT and renders the QEP, one line per row.
-func (e *Engine) runExplain(s *sql.Explain) (*Result, error) {
+// With ANALYZE the plan is also executed through the instrumentation layer
+// and every line carries the actual row counts and timings (observe.go).
+func (e *Engine) runExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
 	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
 	op, err := p.PlanSelect(s.Query)
 	if err != nil {
 		return nil, err
+	}
+	if s.Analyze {
+		return e.runExplainAnalyze(ctx, op)
 	}
 	res := &Result{Columns: []string{"plan"}}
 	for _, line := range strings.Split(strings.TrimRight(exec.Explain(op), "\n"), "\n") {
@@ -323,29 +364,40 @@ func (e *Engine) runExplain(s *sql.Explain) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, error) {
+// runSelect plans and executes a SELECT. When the slow-query log is armed
+// the plan runs through the instrumentation layer and the instrumented
+// root is returned so the statement observer can report top operators;
+// otherwise the plan runs bare and the middle return is nil.
+func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, *exec.Instrumented, error) {
 	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
 	op, err := p.PlanSelect(s)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var prof *exec.Instrumented
+	run := op
+	if e.slowQueryNS.Load() > 0 {
+		prof = exec.Instrument(op)
+		run = prof
 	}
 	ec := exec.NewContext(e.opts.MemLimit)
 	ec.Workers = e.opts.Workers
 	ec.Bind(ctx)
-	rows, err := exec.Collect(ec, op)
+	rows, err := exec.Collect(ec, run)
 	if err != nil {
-		return nil, err
+		return nil, prof, err
 	}
 	cols := make([]string, op.Schema().Len())
 	for i, c := range op.Schema().Columns {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Rows: rows}, nil
+	return &Result{Columns: cols, Rows: rows}, prof, nil
 }
 
 // runSet applies a SET <name> = <int> tunable. QUERY_TIMEOUT sets the
-// per-statement deadline in milliseconds (0 disables it); the new value
-// applies to statements issued after this one.
+// per-statement deadline in milliseconds (0 disables it); SLOW_QUERY sets
+// the slow-query-log threshold in milliseconds (0 disables the log). New
+// values apply to statements issued after this one.
 func (e *Engine) runSet(s *sql.Set) (*Result, error) {
 	switch s.Name {
 	case "QUERY_TIMEOUT":
@@ -354,8 +406,14 @@ func (e *Engine) runSet(s *sql.Set) (*Result, error) {
 		}
 		e.SetQueryTimeout(time.Duration(s.Value) * time.Millisecond)
 		return &Result{}, nil
+	case "SLOW_QUERY":
+		if s.Value < 0 {
+			return nil, fmt.Errorf("SET SLOW_QUERY: value must be >= 0 milliseconds, got %d", s.Value)
+		}
+		e.SetSlowQuery(time.Duration(s.Value) * time.Millisecond)
+		return &Result{}, nil
 	default:
-		return nil, fmt.Errorf("SET: unknown setting %q (supported: QUERY_TIMEOUT)", s.Name)
+		return nil, fmt.Errorf("SET: unknown setting %q (supported: QUERY_TIMEOUT, SLOW_QUERY)", s.Name)
 	}
 }
 
@@ -460,6 +518,13 @@ func (e *Engine) truncateTable(s *sql.TruncateTable) (*Result, error) {
 }
 
 func (e *Engine) runShow(s *sql.Show) (*Result, error) {
+	if s.What == "METRICS" {
+		res := &Result{Columns: []string{"name", "value"}}
+		for _, kv := range e.metrics.Snapshot(e.viewStatsLocked()) {
+			res.Rows = append(res.Rows, types.Row{types.NewString(kv.Name), types.NewInt(kv.Value)})
+		}
+		return res, nil
+	}
 	res := &Result{Columns: []string{"name"}}
 	var names []string
 	switch s.What {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"grfusion/internal/exec"
+	"grfusion/internal/metrics"
+	"grfusion/internal/sql"
+	"grfusion/internal/types"
+)
+
+// This file is the engine half of the observability layer: statement
+// classification and accounting into the internal/metrics registry, the
+// slow-query log, the metrics snapshot behind SHOW METRICS / the wire
+// METRICS command / the HTTP endpoint, and the EXPLAIN ANALYZE renderer.
+
+// Metrics exposes the engine's observability registry for direct counter
+// access (the server increments admission-shed counts through it).
+func (e *Engine) Metrics() *metrics.Metrics { return &e.metrics }
+
+// SlowQuery returns the slow-query-log threshold (zero = disabled).
+func (e *Engine) SlowQuery() time.Duration {
+	return time.Duration(e.slowQueryNS.Load())
+}
+
+// SetSlowQuery sets the slow-query-log threshold; zero or negative
+// disables the log. Equivalent to SET SLOW_QUERY = <ms>. While armed,
+// SELECT plans run through the instrumentation layer so the log can name
+// the top operators by self time.
+func (e *Engine) SetSlowQuery(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.slowQueryNS.Store(int64(d))
+}
+
+// stmtKind classifies a parsed statement for the statements-by-kind
+// counters.
+func stmtKind(stmt sql.Statement) int {
+	switch stmt.(type) {
+	case *sql.Select:
+		return metrics.StmtSelect
+	case *sql.Insert:
+		return metrics.StmtInsert
+	case *sql.Update:
+		return metrics.StmtUpdate
+	case *sql.Delete:
+		return metrics.StmtDelete
+	case *sql.Explain:
+		return metrics.StmtExplain
+	case *sql.Show:
+		return metrics.StmtShow
+	case *sql.Set:
+		return metrics.StmtSet
+	case *sql.CreateTable, *sql.CreateIndex, *sql.CreateGraphView,
+		*sql.CreateMatView, *sql.DropTable, *sql.DropGraphView,
+		*sql.DropMatView, *sql.TruncateTable:
+		return metrics.StmtDDL
+	default:
+		return metrics.StmtOther
+	}
+}
+
+// errClass maps a statement error to the errors-by-sentinel counters.
+func errClass(err error) int {
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return metrics.ErrTimeout
+	case errors.Is(err, ErrCanceled):
+		return metrics.ErrCanceled
+	case errors.Is(err, ErrMemLimit):
+		return metrics.ErrMemLimit
+	case errors.Is(err, ErrQueryPanic):
+		return metrics.ErrPanic
+	default:
+		return metrics.ErrOther
+	}
+}
+
+// observeStatement is execStmt's deferred accounting hook: every statement
+// lands in the by-kind counter and the latency histogram, failures land in
+// the by-sentinel error counters, and statements over the slow-query
+// threshold are counted and logged (with the top operators by self time
+// when the plan ran instrumented).
+func (e *Engine) observeStatement(kind int, text string, d time.Duration, err error, prof *exec.Instrumented) {
+	e.metrics.CountStatement(kind, d)
+	if err != nil {
+		e.metrics.CountError(errClass(err))
+	}
+	th := e.slowQueryNS.Load()
+	if th <= 0 || d.Nanoseconds() < th {
+		return
+	}
+	e.metrics.SlowQueries.Inc()
+	if text == "" {
+		text = "<" + metrics.StmtKindName(kind) + " statement>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "core: slow query (%v): %s", d.Round(time.Microsecond), text)
+	if err != nil {
+		fmt.Fprintf(&sb, " [error: %v]", err)
+	}
+	if prof != nil {
+		for i, oc := range exec.TopOperators(prof, 3) {
+			fmt.Fprintf(&sb, "\n  top[%d] %v rows=%d  %s",
+				i+1, time.Duration(oc.SelfNS).Round(time.Microsecond), oc.Rows, oc.Line)
+		}
+	}
+	log.Print(sb.String())
+}
+
+// viewStatsLocked gathers the per-graph-view gauges for a metrics
+// snapshot. Callers hold the statement lock (either side).
+func (e *Engine) viewStatsLocked() []metrics.GraphViewStats {
+	now := time.Now()
+	var out []metrics.GraphViewStats
+	for _, name := range e.cat.GraphViews() {
+		gv, ok := e.cat.GraphView(name)
+		if !ok {
+			continue
+		}
+		vs := metrics.GraphViewStats{
+			Name:       name,
+			Vertices:   int64(gv.G.NumVertices()),
+			Edges:      int64(gv.G.NumEdges()),
+			MaintOps:   gv.MaintOps(),
+			StatsAgeNS: -1,
+		}
+		if st := gv.Stats(); st != nil {
+			vs.StatsAgeNS = now.Sub(st.UpdatedAt).Nanoseconds()
+		}
+		out = append(out, vs)
+	}
+	return out
+}
+
+// MetricsSnapshot renders the full metrics state — engine counters,
+// latency summary, and per-graph-view gauges — as sorted name/value
+// pairs. It takes the shared lock, so it can run alongside readers.
+func (e *Engine) MetricsSnapshot() []metrics.KV {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.metrics.Snapshot(e.viewStatsLocked())
+}
+
+// runExplainAnalyze executes the planned SELECT through the
+// instrumentation layer, discards its rows, and renders the annotated
+// operator tree plus execution summary lines: totals, traversal counters,
+// and for every PathScan the §6.3 statistics the optimizer consulted.
+// Callers hold the shared lock (EXPLAIN is read-only; the inner statement
+// is a SELECT, so running it under the read side is sound).
+func (e *Engine) runExplainAnalyze(ctx context.Context, op exec.Operator) (*Result, error) {
+	root := exec.Instrument(op)
+	ec := exec.NewContext(e.opts.MemLimit)
+	ec.Workers = e.opts.Workers
+	ec.Bind(ctx)
+	start := time.Now()
+	rows, err := exec.Collect(ec, root)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Columns: []string{"plan"}}
+	add := func(format string, args ...any) {
+		res.Rows = append(res.Rows, types.Row{types.NewString(fmt.Sprintf(format, args...))})
+	}
+	for _, line := range strings.Split(strings.TrimRight(exec.Explain(root), "\n"), "\n") {
+		add("%s", line)
+	}
+	add("")
+	add("Execution: rows=%d time=%v", len(rows), elapsed.Round(time.Microsecond))
+	add("Counters: edges_traversed=%d paths_emitted=%d",
+		atomic.LoadInt64(&ec.EdgesTraversed), ec.PathsEmitted)
+	root.Walk(func(n *exec.Instrumented) {
+		pj, ok := n.Op.(*exec.PathProbeJoin)
+		if !ok {
+			return
+		}
+		gv := pj.Spec.GV
+		st := gv.Stats()
+		if st == nil {
+			add("Stats[%s]: none published; optimizer used live avg_fanout=%.2f",
+				gv.Name, gv.G.AvgFanOut())
+			return
+		}
+		state := "fresh"
+		if gv.FreshStats() == nil {
+			state = "stale, optimizer fell back to live avg_fanout"
+		}
+		add("Stats[%s]: avg_fanout=%.2f max_fanout=%d vertices=%d edges=%d age=%v (%s)",
+			gv.Name, st.AvgFanOut, st.MaxFanOut, st.Vertices, st.Edges,
+			time.Since(st.UpdatedAt).Round(time.Millisecond), state)
+	})
+	return res, nil
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"log"
 	"runtime/debug"
+	"time"
 
 	"grfusion/internal/exec"
 	"grfusion/internal/expr"
+	"grfusion/internal/metrics"
 	"grfusion/internal/plan"
 	"grfusion/internal/sql"
 	"grfusion/internal/types"
@@ -154,19 +156,33 @@ func (p *Prepared) QueryContext(ctx context.Context, params ...types.Value) (res
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	// Prepared executions count as SELECTs; when the slow-query log is
+	// armed the plan runs instrumented so the log can name top operators.
+	var prof *exec.Instrumented
+	start := time.Now()
+	defer func() {
+		p.e.observeStatement(metrics.StmtSelect, "<prepared query>", time.Since(start), err, prof)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			log.Printf("core: recovered query panic: %v\n%s", r, debug.Stack())
 			res, err = nil, fmt.Errorf("%w: %v", ErrQueryPanic, r)
 		}
 	}()
+	lw := time.Now()
 	p.e.mu.RLock()
+	p.e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
 	defer p.e.mu.RUnlock()
+	run := p.op
+	if p.e.slowQueryNS.Load() > 0 {
+		prof = exec.Instrument(p.op)
+		run = prof
+	}
 	ec := exec.NewContext(p.e.opts.MemLimit)
 	ec.Workers = p.e.opts.Workers
 	ec.Params = types.Row(params)
 	ec.Bind(ctx)
-	rows, err := exec.Collect(ec, p.op)
+	rows, err := exec.Collect(ec, run)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,10 @@ func (e *Engine) RebuildGraphView(name string) (*graph.Graph, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown graph view %q", name)
 	}
+	// Statistics computed before the rebuild describe a topology that may
+	// no longer match the sources; withdraw them rather than let the §6.3
+	// BFS/DFS choice run on counts from a dead graph.
+	gv.InvalidateStats()
 	return gv.RebuildTopology()
 }
 

@@ -40,6 +40,7 @@ func (e *Engine) refreshStatsLocked() {
 			continue
 		}
 		gv.SetStats(gv.ComputeStats(now))
+		e.metrics.StatsRefreshes.Inc()
 	}
 }
 

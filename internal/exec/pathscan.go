@@ -30,8 +30,12 @@ func (p Phys) String() string {
 		return "DFScan"
 	case PhysBFS:
 		return "BFScan"
-	default:
+	case PhysSP:
 		return "SPScan"
+	default:
+		// An unknown value is a bug somewhere upstream; naming it SPScan
+		// would hide that from EXPLAIN, so print the raw value instead.
+		return fmt.Sprintf("Phys(%d)", uint8(p))
 	}
 }
 
@@ -66,15 +70,43 @@ func (f *ElemFilter) contains(pos int) bool {
 	}
 }
 
+// String renders the filter exactly as EXPLAIN shows it, using the same
+// subscript convention as expr.PathElemAttr: [*] for an unsubscripted
+// range, [i..*] for a wildcard, [i] for a single position, [i..j] for a
+// bounded range. Flipped comparisons keep their original orientation
+// (Other Op elem), and IN lists render their members.
 func (f *ElemFilter) String() string {
 	elem := "Edges"
 	if f.Elem == expr.ElemVertexes {
 		elem = "Vertexes"
 	}
-	if f.IsIn {
-		return fmt.Sprintf("%s[%d..].%s IN (...)", elem, f.Rng.Start, f.Attr)
+	var sub string
+	switch {
+	case f.Rng.All:
+		sub = "[*]"
+	case f.Rng.Wildcard:
+		sub = fmt.Sprintf("[%d..*]", f.Rng.Start)
+	case f.Rng.Single():
+		sub = fmt.Sprintf("[%d]", f.Rng.Start)
+	default:
+		sub = fmt.Sprintf("[%d..%d]", f.Rng.Start, f.Rng.End)
 	}
-	return fmt.Sprintf("%s[%d..].%s %s %s", elem, f.Rng.Start, f.Attr, f.Op, f.Other)
+	ref := fmt.Sprintf("%s%s.%s", elem, sub, f.Attr)
+	if f.IsIn {
+		items := make([]string, len(f.List))
+		for i, e := range f.List {
+			items[i] = e.String()
+		}
+		op := "IN"
+		if f.InNeg {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("%s %s (%s)", ref, op, strings.Join(items, ", "))
+	}
+	if f.Flipped {
+		return fmt.Sprintf("%s %s %s", f.Other, f.Op, ref)
+	}
+	return fmt.Sprintf("%s %s %s", ref, f.Op, f.Other)
 }
 
 // AggBound is a pushed-down monotone aggregate bound (§6.2), e.g.
@@ -172,7 +204,14 @@ func (p *PathProbeJoin) Explain() string {
 		sb.WriteString(" allpaths")
 	}
 	if n := len(p.Spec.EdgeFilters) + len(p.Spec.VertexFilters); n > 0 {
-		fmt.Fprintf(&sb, " pushed=%d", n)
+		parts := make([]string, 0, n)
+		for i := range p.Spec.EdgeFilters {
+			parts = append(parts, p.Spec.EdgeFilters[i].String())
+		}
+		for i := range p.Spec.VertexFilters {
+			parts = append(parts, p.Spec.VertexFilters[i].String())
+		}
+		fmt.Fprintf(&sb, " pushed=%d (%s)", n, strings.Join(parts, " AND "))
 	}
 	if len(p.Spec.AggBounds) > 0 {
 		fmt.Fprintf(&sb, " aggbounds=%d", len(p.Spec.AggBounds))

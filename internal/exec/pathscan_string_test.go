@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"testing"
+
+	"grfusion/internal/expr"
+	"grfusion/internal/types"
+)
+
+func lit(i int64) expr.Expr { return &expr.Literal{Val: types.NewInt(i)} }
+
+// TestElemFilterString locks the EXPLAIN rendering of pushed-down path
+// predicates: bounded ranges must keep both bounds, [*] (All) must stay
+// distinct from [i..*] (Wildcard), flipped comparisons must keep their
+// orientation, and NOT IN must not collapse into IN.
+func TestElemFilterString(t *testing.T) {
+	cases := []struct {
+		name string
+		f    ElemFilter
+		want string
+	}{
+		{
+			name: "bounded range keeps both bounds",
+			f: ElemFilter{
+				Elem: expr.ElemEdges,
+				Rng:  expr.Rng{Start: 2, End: 5},
+				Attr: "W", Op: expr.OpGt, Other: lit(10),
+			},
+			want: "Edges[2..5].W > 10",
+		},
+		{
+			name: "single position",
+			f: ElemFilter{
+				Elem: expr.ElemEdges,
+				Rng:  expr.Rng{Start: 3, End: 3},
+				Attr: "W", Op: expr.OpEq, Other: lit(7),
+			},
+			want: "Edges[3].W = 7",
+		},
+		{
+			name: "wildcard from offset",
+			f: ElemFilter{
+				Elem: expr.ElemEdges,
+				Rng:  expr.Rng{Start: 1, Wildcard: true},
+				Attr: "Sel", Op: expr.OpLt, Other: lit(80),
+			},
+			want: "Edges[1..*].Sel < 80",
+		},
+		{
+			name: "all positions is [*], not a wildcard",
+			f: ElemFilter{
+				Elem: expr.ElemVertexes,
+				Rng:  expr.Rng{All: true},
+				Attr: "Age", Op: expr.OpGe, Other: lit(18),
+			},
+			want: "Vertexes[*].Age >= 18",
+		},
+		{
+			name: "flipped comparison keeps its orientation",
+			f: ElemFilter{
+				Elem: expr.ElemEdges,
+				Rng:  expr.Rng{Start: 0, Wildcard: true},
+				Attr: "W", Op: expr.OpLt, Flipped: true, Other: lit(100),
+			},
+			want: "100 < Edges[0..*].W",
+		},
+		{
+			name: "IN renders its list",
+			f: ElemFilter{
+				Elem: expr.ElemVertexes,
+				Rng:  expr.Rng{Start: 0, End: 2},
+				Attr: "Kind", IsIn: true, List: []expr.Expr{lit(1), lit(2)},
+			},
+			want: "Vertexes[0..2].Kind IN (1, 2)",
+		},
+		{
+			name: "NOT IN is not IN",
+			f: ElemFilter{
+				Elem: expr.ElemEdges,
+				Rng:  expr.Rng{Start: 0, Wildcard: true},
+				Attr: "Kind", IsIn: true, InNeg: true, List: []expr.Expr{lit(3)},
+			},
+			want: "Edges[0..*].Kind NOT IN (3)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f.String(); got != tc.want {
+				t.Errorf("ElemFilter.String() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPhysString pins the physical-operator names and requires unknown
+// values to be visible as such rather than masquerading as SPScan.
+func TestPhysString(t *testing.T) {
+	cases := []struct {
+		p    Phys
+		want string
+	}{
+		{PhysDFS, "DFScan"},
+		{PhysBFS, "BFScan"},
+		{PhysSP, "SPScan"},
+		{Phys(7), "Phys(7)"},
+		{Phys(255), "Phys(255)"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("Phys(%d).String() = %q, want %q", uint8(tc.p), got, tc.want)
+		}
+	}
+}

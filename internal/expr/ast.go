@@ -58,8 +58,14 @@ var binOpNames = map[BinOp]string{
 	OpDiv: "/", OpMod: "%", OpLike: "LIKE",
 }
 
-// String returns the SQL spelling of the operator.
-func (op BinOp) String() string { return binOpNames[op] }
+// String returns the SQL spelling of the operator. Unknown values render
+// as BinOp(<n>) instead of vanishing from the output.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
 
 // IsComparison reports whether op compares its operands.
 func (op BinOp) IsComparison() bool { return op <= OpGe || op == OpLike }

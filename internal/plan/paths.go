@@ -270,7 +270,10 @@ func (p *Planner) choosePhysical(s *sql.Select, fi *fromInfo, spec *exec.PathSca
 	// (§6.3), otherwise from the live O(1) average.
 	if spec.MaxLen > 0 {
 		f := fi.gv.G.AvgFanOut()
-		if st := fi.gv.Stats(); st != nil {
+		// FreshStats (not Stats) so statistics that predate a rebuild or
+		// heavy DML cannot steer the choice; stale objects fall back to
+		// the live average.
+		if st := fi.gv.FreshStats(); st != nil {
 			f = st.AvgFanOut
 		}
 		l := float64(spec.MaxLen)

@@ -116,13 +116,33 @@ func (c *Client) ExecTimeout(query string, timeout time.Duration) (*Result, erro
 	}
 }
 
+// Metrics fetches the server's metrics snapshot via the METRICS wire
+// command. The command is never shed by admission control, so it works
+// even while Exec calls are being rejected as overloaded.
+func (c *Client) Metrics() (map[string]int64, error) {
+	res, err := c.roundTrip(Request{Cmd: "metrics"}, c.opts.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(res.Rows))
+	for _, row := range res.Rows {
+		if len(row) == 2 {
+			out[row[0].S] = row[1].I
+		}
+	}
+	return out, nil
+}
+
 func (c *Client) once(query string, timeout time.Duration) (*Result, error) {
+	return c.roundTrip(Request{Query: query}, timeout)
+}
+
+func (c *Client) roundTrip(req Request, timeout time.Duration) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
 		return nil, fmt.Errorf("connection poisoned by earlier failure (reconnect required): %w", c.broken)
 	}
-	req := Request{Query: query}
 	if timeout > 0 {
 		req.TimeoutMS = int64(timeout / time.Millisecond)
 		if req.TimeoutMS == 0 {

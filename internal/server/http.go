@@ -1,0 +1,59 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+
+	"grfusion/internal/core"
+)
+
+// HTTP observability endpoint (stdlib only). grfusion-server exposes it
+// with -metrics-addr; tests mount the mux on an httptest server.
+
+// MetricsHandler serves the engine's metrics snapshot as a flat JSON
+// object {"name": value, ...} — the HTTP face of SHOW METRICS.
+func MetricsHandler(eng *core.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := eng.MetricsSnapshot()
+		out := make(map[string]int64, len(snap))
+		for _, kv := range snap {
+			out[kv.Name] = kv.Value
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}
+
+// expvar names are process-global and Publish panics on duplicates, so
+// only the first engine is published no matter how many servers a process
+// (or test binary) creates.
+var expvarOnce sync.Once
+
+// PublishExpvar registers the engine's snapshot under the expvar name
+// "grfusion", visible alongside the runtime's memstats at /debug/vars.
+func PublishExpvar(eng *core.Engine) {
+	expvarOnce.Do(func() {
+		expvar.Publish("grfusion", expvar.Func(func() any {
+			snap := eng.MetricsSnapshot()
+			out := make(map[string]int64, len(snap))
+			for _, kv := range snap {
+				out[kv.Name] = kv.Value
+			}
+			return out
+		}))
+	})
+}
+
+// MetricsMux bundles both HTTP surfaces: /metrics (flat JSON) and
+// /debug/vars (expvar).
+func MetricsMux(eng *core.Engine) *http.ServeMux {
+	PublishExpvar(eng)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(eng))
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"grfusion/internal/core"
+)
+
+func TestMetricsWireCommand(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Exec(`CREATE TABLE T (a BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`SELECT COUNT(*) FROM T`); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["statements.select"] < 1 {
+		t.Errorf("statements.select = %d, want >= 1", m["statements.select"])
+	}
+	if m["statements.total"] < 2 {
+		t.Errorf("statements.total = %d, want >= 2", m["statements.total"])
+	}
+	if _, ok := m["latency.p99_us"]; !ok {
+		t.Errorf("latency summary missing from wire snapshot: %v", m)
+	}
+}
+
+func TestUnknownWireCommand(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.roundTrip(Request{Cmd: "nosuch"}, 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("want unknown-command error, got %v", err)
+	}
+}
+
+// TestShedAdmissionCounted verifies admission.shed moves when a statement
+// is rejected, and that the METRICS command itself is never shed.
+func TestShedAdmissionCounted(t *testing.T) {
+	eng := core.New(core.Options{})
+	srv := NewWith(eng, Config{MaxConcurrent: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Shutdown)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Occupy the single admission token so the next statement sheds.
+	srv.sem <- struct{}{}
+	if _, err := c.Exec(`SELECT 1`); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("want overload shed, got %v", err)
+	}
+	m, err := c.Metrics() // must answer while the server is saturated
+	if err != nil {
+		t.Fatalf("METRICS shed alongside statements: %v", err)
+	}
+	if m["admission.shed"] != 1 {
+		t.Errorf("admission.shed = %d, want 1", m["admission.shed"])
+	}
+	<-srv.sem
+	if _, err := c.Exec(`SELECT 1`); err != nil {
+		t.Fatalf("statement after release: %v", err)
+	}
+}
+
+// TestMetricsHTTPEndpoint is the ISSUE's expvar-endpoint smoke test.
+func TestMetricsHTTPEndpoint(t *testing.T) {
+	eng := core.New(core.Options{})
+	if _, err := eng.Execute(`CREATE TABLE T (a BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(MetricsMux(eng))
+	t.Cleanup(ts.Close)
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+
+	flat := get("/metrics")
+	if v, ok := flat["statements.ddl"].(float64); !ok || v < 1 {
+		t.Errorf("/metrics statements.ddl = %v, want >= 1", flat["statements.ddl"])
+	}
+
+	vars := get("/debug/vars")
+	gr, ok := vars["grfusion"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing grfusion var: %v", vars["grfusion"])
+	}
+	if v, ok := gr["statements.total"].(float64); !ok || v < 1 {
+		t.Errorf("expvar statements.total = %v, want >= 1", gr["statements.total"])
+	}
+}

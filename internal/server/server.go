@@ -5,6 +5,9 @@
 // internally, so any number of connections may be served concurrently.
 //
 // Request:  {"query": "SELECT ...", "timeout_ms": 100}
+//
+//	or {"cmd": "metrics"}
+//
 // Response: {"columns": [...], "rows": [[...], ...], "affected": 0}
 //
 //	or {"error": "...", "retryable": true}
@@ -39,6 +42,8 @@ import (
 	"log"
 	"net"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,9 +54,14 @@ import (
 // maxRequestBytes caps one request line (the scanner buffer limit).
 const maxRequestBytes = 16 << 20
 
-// Request is one statement submission.
+// Request is one statement submission, or — when Cmd is set — a protocol
+// command that bypasses SQL execution entirely.
 type Request struct {
-	Query string `json:"query"`
+	Query string `json:"query,omitempty"`
+	// Cmd names a protocol command. "metrics" returns the engine's metrics
+	// snapshot as name/value rows; it skips admission control so the server
+	// stays observable under overload.
+	Cmd string `json:"cmd,omitempty"`
 	// TimeoutMS bounds this statement's execution in milliseconds; zero
 	// means no client-side bound (the server's QueryTimeout, if any, still
 	// applies — the effective deadline is the tighter of the two).
@@ -331,7 +341,27 @@ func (s *Server) serveLine(line []byte) (resp Response) {
 	if err := json.Unmarshal(line, &req); err != nil {
 		return Response{Error: fmt.Sprintf("bad request: %v", err)}
 	}
+	if req.Cmd != "" {
+		return s.command(&req)
+	}
 	return s.execute(&req)
+}
+
+// command serves protocol commands. These never consume an admission
+// token: "metrics" in particular must stay answerable while the server is
+// shedding statements, or the operator loses exactly the signal that
+// explains the overload.
+func (s *Server) command(req *Request) Response {
+	switch strings.ToLower(req.Cmd) {
+	case "metrics":
+		out := Response{Columns: []string{"name", "value"}}
+		for _, kv := range s.eng.MetricsSnapshot() {
+			out.Rows = append(out.Rows, []any{kv.Name, json.Number(strconv.FormatInt(kv.Value, 10))})
+		}
+		return out
+	default:
+		return Response{Error: fmt.Sprintf("unknown command %q (supported: metrics)", req.Cmd)}
+	}
 }
 
 func (s *Server) execute(req *Request) Response {
@@ -342,6 +372,7 @@ func (s *Server) execute(req *Request) Response {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			s.eng.Metrics().ShedAdmissions.Inc()
 			return Response{
 				Error:     fmt.Sprintf("server overloaded: %d statements already executing", cap(s.sem)),
 				Retryable: true,

@@ -205,18 +205,22 @@ type DropGraphView struct{ Name string }
 
 func (*DropGraphView) stmt() {}
 
-// Explain is EXPLAIN <select>: the engine returns the physical plan as
-// one row of text per plan line.
+// Explain is EXPLAIN [ANALYZE] <select>: the engine returns the physical
+// plan as one row of text per plan line. With Analyze set the statement is
+// executed and every plan line is annotated with actual row counts and
+// timings (the profiling mode of Neo4j's PROFILE and Postgres's EXPLAIN
+// ANALYZE).
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
-// Show is SHOW TABLES / SHOW GRAPH VIEWS, a small introspection aid for
-// the interactive shell.
+// Show is SHOW TABLES / SHOW GRAPH VIEWS / SHOW METRICS, a small
+// introspection aid for the interactive shell.
 type Show struct {
-	// What is "TABLES", "GRAPH VIEWS" or "MATERIALIZED VIEWS".
+	// What is "TABLES", "GRAPH VIEWS", "MATERIALIZED VIEWS" or "METRICS".
 	What string
 }
 
@@ -225,7 +229,8 @@ func (*Show) stmt() {}
 // Set is SET <name> = <int>, an engine tunable. The engine currently
 // accepts QUERY_TIMEOUT (a per-statement deadline in milliseconds; 0
 // disables it), mirroring the per-statement timeouts of the paper's host
-// system (VoltDB).
+// system (VoltDB), and SLOW_QUERY (the slow-query-log threshold in
+// milliseconds; 0 disables logging).
 type Set struct {
 	// Name is the upper-cased tunable name.
 	Name string

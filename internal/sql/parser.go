@@ -146,6 +146,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case "EXPLAIN":
 		p.i++
+		analyze := p.acceptKeyword("ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
@@ -154,7 +155,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		if !ok {
 			return nil, p.errf("EXPLAIN supports SELECT statements only")
 		}
-		return &Explain{Query: sel}, nil
+		return &Explain{Query: sel, Analyze: analyze}, nil
 	case "CREATE":
 		return p.parseCreate()
 	case "DROP":
@@ -192,8 +193,10 @@ func (p *parser) parseStatement() (Statement, error) {
 				return nil, err
 			}
 			return &Show{What: "MATERIALIZED VIEWS"}, nil
+		case p.acceptKeyword("METRICS"):
+			return &Show{What: "METRICS"}, nil
 		default:
-			return nil, p.errf("expected TABLES, GRAPH VIEWS or MATERIALIZED VIEWS after SHOW")
+			return nil, p.errf("expected TABLES, GRAPH VIEWS, MATERIALIZED VIEWS or METRICS after SHOW")
 		}
 	default:
 		return nil, p.errf("unsupported statement %s", t)

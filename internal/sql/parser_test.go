@@ -541,3 +541,29 @@ func TestExplainParse(t *testing.T) {
 		t.Error("EXPLAIN DML accepted")
 	}
 }
+
+func TestExplainAnalyzeParse(t *testing.T) {
+	ex := parseOne(t, `EXPLAIN ANALYZE SELECT a FROM t WHERE a = 1`).(*Explain)
+	if !ex.Analyze || ex.Query == nil {
+		t.Fatalf("%+v", ex)
+	}
+	if ex := parseOne(t, `EXPLAIN SELECT a FROM t`).(*Explain); ex.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
+	if _, err := Parse(`EXPLAIN ANALYZE INSERT INTO t VALUES (1)`); err == nil {
+		t.Error("EXPLAIN ANALYZE DML accepted")
+	}
+}
+
+func TestShowMetricsParse(t *testing.T) {
+	if s := parseOne(t, `SHOW METRICS`).(*Show); s.What != "METRICS" {
+		t.Errorf("%+v", s)
+	}
+}
+
+func TestSetSlowQueryParse(t *testing.T) {
+	s := parseOne(t, `SET SLOW_QUERY = 25`).(*Set)
+	if s.Name != "SLOW_QUERY" || s.Value != 25 {
+		t.Fatalf("%+v", s)
+	}
+}
