@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics oracle chaos fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr oracle chaos fmt vet clean
 
 all: build test
 
@@ -42,6 +42,13 @@ bench:
 metrics:
 	$(GO) run ./cmd/grbench -exp observability -queries 10 -json BENCH_observability.json
 
+# CSR layout benchmark + regression gate: pointer vs CSR traversal kernels
+# and layout-forced engine runs. Fails if any gated speedup drops more than
+# 10% below the committed baseline floor, or if a steady-state CSR kernel
+# traversal allocates. CI uploads BENCH_csr.json on every run.
+csr:
+	$(GO) run ./cmd/grbench -exp csr -queries 6 -json BENCH_csr.json -baseline BENCH_csr_baseline.json
+
 fmt:
 	gofmt -l -w .
 
@@ -50,4 +57,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_concurrency.json BENCH_observability.json ORACLE_repro.sql
+	rm -f BENCH_concurrency.json BENCH_observability.json BENCH_csr.json ORACLE_repro.sql

@@ -628,6 +628,7 @@ func All(cfg Config) []Row {
 	rows = append(rows, Ablation(cfg)...)
 	rows = append(rows, Concurrency(cfg)...)
 	rows = append(rows, Observability(cfg)...)
+	rows = append(rows, CSRBench(cfg)...)
 	return rows
 }
 
@@ -643,4 +644,5 @@ var Experiments = map[string]func(Config) []Row{
 	"ablation":      Ablation,
 	"concurrency":   Concurrency,
 	"observability": Observability,
+	"csr":           CSRBench,
 }

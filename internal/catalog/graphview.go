@@ -3,7 +3,9 @@ package catalog
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"grfusion/internal/graph"
 	"grfusion/internal/storage"
@@ -72,6 +74,17 @@ type GraphView struct {
 	// the count it was computed at, so readers can detect statistics that
 	// predate heavy DML (see FreshStats).
 	maintOps atomic.Int64
+
+	// csr caches the immutable CSR read snapshot of G. It is built lazily
+	// on the first CSR-layout traversal after a topology change and keyed
+	// on the graph's version counter, so DML never pays for it and a query
+	// can never observe a stale snapshot (CSR revalidates before reuse).
+	csr        atomic.Pointer[graph.CSR]
+	csrMu      sync.Mutex
+	csrBuilds  atomic.Int64
+	csrBuildNS atomic.Int64
+	csrHits    atomic.Int64
+	csrMisses  atomic.Int64
 }
 
 // NewGraphView validates a definition against its source tables and builds
@@ -237,6 +250,42 @@ func intAttr(row types.Row, pos int, what string) (int64, error) {
 		return 0, fmt.Errorf("%s value %s is not a BIGINT", what, v)
 	}
 	return v.I, nil
+}
+
+// CSR returns a CSR snapshot of the current topology, building (and
+// caching) one if the cache is missing or stale. Callers must hold the
+// engine's statement lock (either side): the freshness check and a
+// potential rebuild read the live topology. Concurrent readers share one
+// build via csrMu; the snapshot itself is immutable and safe to traverse
+// from any number of goroutines.
+func (gv *GraphView) CSR() *graph.CSR {
+	if c := gv.csr.Load(); c != nil && c.Fresh(gv.G) {
+		gv.csrHits.Add(1)
+		return c
+	}
+	gv.csrMu.Lock()
+	defer gv.csrMu.Unlock()
+	if c := gv.csr.Load(); c != nil && c.Fresh(gv.G) {
+		gv.csrHits.Add(1)
+		return c
+	}
+	gv.csrMisses.Add(1)
+	start := time.Now()
+	c := graph.BuildCSR(gv.G)
+	gv.csrBuilds.Add(1)
+	gv.csrBuildNS.Add(time.Since(start).Nanoseconds())
+	gv.csr.Store(c)
+	return c
+}
+
+// CSRStats reports the snapshot cache counters and the cached snapshot's
+// approximate size (0 when nothing is cached), for SHOW METRICS.
+func (gv *GraphView) CSRStats() (builds, buildNS, hits, misses, bytes int64) {
+	if c := gv.csr.Load(); c != nil {
+		bytes = c.ApproxBytes()
+	}
+	return gv.csrBuilds.Load(), gv.csrBuildNS.Load(),
+		gv.csrHits.Load(), gv.csrMisses.Load(), bytes
 }
 
 // VertexTable returns the vertexes relational-source.

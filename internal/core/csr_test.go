@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// planText renders an EXPLAIN / EXPLAIN ANALYZE result to one string.
+func planText(r *Result) string {
+	var sb strings.Builder
+	for _, row := range r.Rows {
+		sb.WriteString(row[0].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestCSRLayoutSelection pins the planner's size rule: small graphs stay on
+// the pointer kernels, graphs past the CSR threshold switch layouts, and
+// both choices are visible in EXPLAIN.
+func TestCSRLayoutSelection(t *testing.T) {
+	small := socialEngine(t)
+	p := planText(mustExec(t, small,
+		`EXPLAIN SELECT PS.PathString FROM SocialNetwork.Paths PS WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2`))
+	if !strings.Contains(p, "layout=ptr") {
+		t.Errorf("small graph should plan pointer layout:\n%s", p)
+	}
+
+	big := ladderEngine(t, 200, 0) // 200 vertices + ~397 edges > csr threshold
+	p = planText(mustExec(t, big,
+		`EXPLAIN SELECT PS.PathString FROM Ladder.Paths PS WHERE PS.StartVertex.Id = 0 AND PS.Length <= 2`))
+	if !strings.Contains(p, "layout=csr") {
+		t.Errorf("large graph should plan CSR layout:\n%s", p)
+	}
+}
+
+// TestCSRSnapshotStaleness proves post-DML queries never read a stale CSR
+// snapshot: every topology mutation invalidates the cached snapshot, the
+// next query rebuilds it, and the answers always reflect the current
+// relational state.
+func TestCSRSnapshotStaleness(t *testing.T) {
+	const n = 200
+	e := ladderEngine(t, n, 0)
+
+	reach := fmt.Sprintf(
+		`SELECT PS.Length FROM Ladder.Paths PS WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = %d LIMIT 1`, n-1)
+	reachable := func() bool {
+		t.Helper()
+		return len(mustExec(t, e, reach).Rows) > 0
+	}
+
+	if !reachable() {
+		t.Fatal("ladder end should be reachable from vertex 0")
+	}
+	if b := metricValue(e, "graphview.Ladder.csr_builds"); b != 1 {
+		t.Fatalf("after first query: csr_builds = %d, want 1", b)
+	}
+
+	// A repeat query on an unchanged topology must hit the cache.
+	if !reachable() {
+		t.Fatal("repeat query changed its answer")
+	}
+	if b := metricValue(e, "graphview.Ladder.csr_builds"); b != 1 {
+		t.Errorf("repeat query rebuilt the snapshot: csr_builds = %d, want 1", b)
+	}
+	if h := metricValue(e, "graphview.Ladder.csr_hits"); h < 1 {
+		t.Errorf("repeat query did not hit the cache: csr_hits = %d", h)
+	}
+
+	// Disconnect the last vertex: the next query must see the deletion.
+	mustExec(t, e, fmt.Sprintf("DELETE FROM E WHERE dst = %d", n-1))
+	if reachable() {
+		t.Fatal("stale snapshot: deleted edges still traversed")
+	}
+	if b := metricValue(e, "graphview.Ladder.csr_builds"); b != 2 {
+		t.Errorf("post-DELETE query should rebuild: csr_builds = %d, want 2", b)
+	}
+
+	// Reconnect it: the next query must see the insertion.
+	mustExec(t, e, fmt.Sprintf("INSERT INTO E VALUES (9999, %d, %d, 1.5)", n-2, n-1))
+	if !reachable() {
+		t.Fatal("stale snapshot: inserted edge not traversed")
+	}
+	if b := metricValue(e, "graphview.Ladder.csr_builds"); b != 3 {
+		t.Errorf("post-INSERT query should rebuild: csr_builds = %d, want 3", b)
+	}
+
+	// An attribute UPDATE that does not touch topology must not invalidate.
+	mustExec(t, e, "UPDATE V SET name = 'renamed' WHERE vid = 0")
+	if !reachable() {
+		t.Fatal("attribute update broke reachability")
+	}
+	if b := metricValue(e, "graphview.Ladder.csr_builds"); b != 3 {
+		t.Errorf("attribute-only UPDATE invalidated the snapshot: csr_builds = %d, want 3", b)
+	}
+
+	// EXPLAIN ANALYZE surfaces the snapshot cache state for CSR scans.
+	p := planText(mustExec(t, e, "EXPLAIN ANALYZE "+reach))
+	if !strings.Contains(p, "CSR[Ladder]:") || !strings.Contains(p, "layout=csr") {
+		t.Errorf("EXPLAIN ANALYZE missing CSR cache line:\n%s", p)
+	}
+}

@@ -135,6 +135,7 @@ func (e *Engine) viewStatsLocked() []metrics.GraphViewStats {
 		if st := gv.Stats(); st != nil {
 			vs.StatsAgeNS = now.Sub(st.UpdatedAt).Nanoseconds()
 		}
+		vs.CSRBuilds, vs.CSRBuildNS, vs.CSRHits, vs.CSRMisses, vs.CSRBytes = gv.CSRStats()
 		out = append(out, vs)
 	}
 	return out
@@ -184,6 +185,12 @@ func (e *Engine) runExplainAnalyze(ctx context.Context, op exec.Operator) (*Resu
 			return
 		}
 		gv := pj.Spec.GV
+		if pj.Spec.Layout == exec.LayoutCSR {
+			builds, buildNS, hits, misses, bytes := gv.CSRStats()
+			add("CSR[%s]: builds=%d build_time=%v hits=%d misses=%d bytes=%d",
+				gv.Name, builds, time.Duration(buildNS).Round(time.Microsecond),
+				hits, misses, bytes)
+		}
 		st := gv.Stats()
 		if st == nil {
 			add("Stats[%s]: none published; optimizer used live avg_fanout=%.2f",

@@ -39,6 +39,34 @@ func (p Phys) String() string {
 	}
 }
 
+// Layout selects the topology representation a PathScan traverses: the
+// live pointer topology, or the immutable CSR read snapshot with its
+// index-based zero-allocation kernels. The two are observationally
+// identical (the differential oracle enforces it); layout is purely a
+// physical choice, like Phys.
+type Layout uint8
+
+// Topology layouts.
+const (
+	// LayoutPtr walks the live adjacency lists — always correct, no build
+	// cost, the right call for small graphs and the oracle's reference.
+	LayoutPtr Layout = iota
+	// LayoutCSR traverses the view's cached CSR snapshot (rebuilt lazily
+	// after DML), trading one build for allocation-free traversal.
+	LayoutCSR
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutPtr:
+		return "ptr"
+	case LayoutCSR:
+		return "csr"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
 // ElemFilter is one pushed-down per-position predicate over the path's
 // edges or vertexes (§6.2), e.g. PS.Edges[0..*].StartDate > '2000-01-01'.
 // The non-path side (Other / List) is bound to the OUTER schema and
@@ -129,6 +157,7 @@ type PathScanSpec struct {
 	Alias string
 
 	Phys   Phys
+	Layout Layout
 	Policy graph.VisitPolicy
 	// CycleClose allows the path to close back onto its start vertex and
 	// binds the traversal target to the start (triangle-style patterns).
@@ -222,6 +251,7 @@ func (p *PathProbeJoin) Explain() string {
 	if p.Spec.Parallel {
 		sb.WriteString(" parallel")
 	}
+	fmt.Fprintf(&sb, " layout=%s", p.Spec.Layout)
 	if p.Residual != nil {
 		fmt.Fprintf(&sb, " residual=%s", p.Residual)
 	}
@@ -280,6 +310,13 @@ func (p *PathProbeJoin) Open(ctx *Context) (Iterator, error) {
 			it.weightPos = pos
 		}
 	}
+	if p.Spec.Layout == LayoutCSR {
+		// Fetch (or lazily build) the CSR snapshot at execution time, under
+		// the statement lock — never at plan time, where the topology the
+		// query will actually see is not yet pinned. DML cannot interleave
+		// with this query, so the snapshot stays fresh for its duration.
+		it.csr = gv.CSR()
+	}
 	return it, nil
 }
 
@@ -294,6 +331,10 @@ type pathProbeIter struct {
 	vertPos   []int
 	boundPos  []int
 	weightPos int
+
+	// csr is the immutable snapshot traversed under LayoutCSR; nil means
+	// the pointer kernels walk the live topology.
+	csr *graph.CSR
 
 	outerRow types.Row
 	starts   []*graph.Vertex
@@ -333,10 +374,16 @@ func (r *probeRun) err() error {
 // every worker to exit — the caller may release the engine's shared lock
 // (or rebind the probe state workers read) only after this returns. The
 // counter flush is atomic because parallel workers finish concurrently.
+// A CSR kernel's pooled scratch is returned here, so even a traversal a
+// LIMIT stopped mid-flight recycles its buffers (read any kernel error
+// via err() before calling finish).
 func (r *probeRun) finish() {
 	if r.msi != nil {
 		r.msi.Close()
 		r.msi = nil
+	}
+	if rel, ok := r.iter.(interface{ Release() }); ok {
+		rel.Release()
 	}
 	if r.edges != 0 {
 		atomic.AddInt64(&r.ctx.EdgesTraversed, r.edges)
@@ -673,13 +720,27 @@ func (it *pathProbeIter) newRun(start *graph.Vertex) *probeRun {
 			return v.AsFloat(), true
 		}
 		k := spec.KPaths
-		sp := graph.NewShortest(gv.G, gspec, weight, k)
-		run.iter = sp
-		run.spErr = sp.Err
+		if it.csr != nil {
+			sp := graph.NewCSRShortest(it.csr, gspec, weight, k)
+			run.iter = sp
+			run.spErr = sp.Err
+		} else {
+			sp := graph.NewShortest(gv.G, gspec, weight, k)
+			run.iter = sp
+			run.spErr = sp.Err
+		}
 	case PhysBFS:
-		run.iter = graph.NewBFS(gv.G, gspec)
+		if it.csr != nil {
+			run.iter = graph.NewCSRBFS(it.csr, gspec)
+		} else {
+			run.iter = graph.NewBFS(gv.G, gspec)
+		}
 	default:
-		run.iter = graph.NewDFS(gv.G, gspec)
+		if it.csr != nil {
+			run.iter = graph.NewCSRDFS(it.csr, gspec)
+		} else {
+			run.iter = graph.NewDFS(gv.G, gspec)
+		}
 	}
 	return run
 }

@@ -1,0 +1,493 @@
+package graph
+
+// This file implements the CSR (compressed sparse row) read snapshot of a
+// topology: vertexes densely renumbered to int32 indexes, adjacency as
+// offset+edge arrays, and parallel arrays carrying identifiers and tuple
+// pointers. The snapshot is immutable — DML never touches it; the owning
+// graph view lazily rebuilds one when its topology version moves on.
+//
+// The point is the paper's §5–§7 performance argument taken to its
+// hardware conclusion: the pointer topology already avoids joins, but its
+// traversal kernels still chase *Edge pointers and maintain
+// map[*Vertex]bool visited sets on the hottest loops. The CSR variants in
+// csr_kernels.go walk flat int32 arrays with epoch-stamped visited slabs
+// and pooled scratch, allocating nothing in steady state and touching
+// memory sequentially per adjacency list.
+//
+// Determinism contract: the adjacency arrays are laid out in exactly the
+// order expand() walks the pointer lists (Out in list order, then — for
+// undirected graphs — In skipping self-loops), and vertexes are numbered
+// in ascending-ID order, so the CSR kernels emit byte-identical path
+// sequences to the pointer kernels they mirror.
+
+import (
+	"sync"
+)
+
+// CSR is an immutable compressed-sparse-row snapshot of one Graph.
+type CSR struct {
+	g        *Graph
+	version  uint64
+	directed bool
+
+	// verts/vids/vtuples are parallel arrays over the dense vertex
+	// numbering (ascending identifier order).
+	verts   []*Vertex
+	vids    []int64
+	vtuples []uint64
+	byID    map[int64]int32
+
+	// edges/eids/etuples are parallel arrays over the dense edge
+	// numbering (ascending identifier order).
+	edges   []*Edge
+	eids    []int64
+	etuples []uint64
+
+	// Out view: outAdj/outEdge[outOff[v]:outOff[v+1]] are the To-endpoint
+	// and edge indexes of v's outgoing edges, in adjacency-list order.
+	outOff  []int32
+	outAdj  []int32
+	outEdge []int32
+
+	// In view: the incoming counterpart (From endpoints).
+	inOff  []int32
+	inAdj  []int32
+	inEdge []int32
+
+	// Traversal view: what the kernels walk. Directed graphs alias the
+	// out view; undirected graphs merge out + in (self-loops once), i.e.
+	// expand()'s exact order.
+	adjOff  []int32
+	adjTo   []int32
+	adjEdge []int32
+
+	pool sync.Pool // of *csrScratch
+}
+
+// BuildCSR snapshots g. The caller must hold the engine's read (or write)
+// lock: the build reads the live topology, and the snapshot stays valid
+// only until the next mutation (see Fresh).
+func BuildCSR(g *Graph) *CSR {
+	c := &CSR{g: g, version: g.Version(), directed: g.Directed()}
+
+	// sortedVertices/sortedEdges return the shared immutable order caches;
+	// aliasing them is safe because mutators replace, never edit, them.
+	c.verts = g.sortedVertices()
+	nv := len(c.verts)
+	c.vids = make([]int64, nv)
+	c.vtuples = make([]uint64, nv)
+	c.byID = make(map[int64]int32, nv)
+	for i, v := range c.verts {
+		c.vids[i] = v.ID
+		c.vtuples[i] = v.Tuple
+		c.byID[v.ID] = int32(i)
+	}
+
+	c.edges = g.sortedEdges()
+	ne := len(c.edges)
+	c.eids = make([]int64, ne)
+	c.etuples = make([]uint64, ne)
+	eIdx := make(map[*Edge]int32, ne)
+	for i, e := range c.edges {
+		c.eids[i] = e.ID
+		c.etuples[i] = e.Tuple
+		eIdx[e] = int32(i)
+	}
+
+	// Out and In views.
+	c.outOff = make([]int32, nv+1)
+	c.inOff = make([]int32, nv+1)
+	for i, v := range c.verts {
+		c.outOff[i+1] = c.outOff[i] + int32(len(v.Out))
+		c.inOff[i+1] = c.inOff[i] + int32(len(v.In))
+	}
+	c.outAdj = make([]int32, ne2(c.outOff, nv))
+	c.outEdge = make([]int32, len(c.outAdj))
+	c.inAdj = make([]int32, ne2(c.inOff, nv))
+	c.inEdge = make([]int32, len(c.inAdj))
+	for i, v := range c.verts {
+		o := c.outOff[i]
+		for _, e := range v.Out {
+			c.outAdj[o] = c.byID[e.To.ID]
+			c.outEdge[o] = eIdx[e]
+			o++
+		}
+		o = c.inOff[i]
+		for _, e := range v.In {
+			c.inAdj[o] = c.byID[e.From.ID]
+			c.inEdge[o] = eIdx[e]
+			o++
+		}
+	}
+
+	// Traversal view.
+	if c.directed {
+		c.adjOff, c.adjTo, c.adjEdge = c.outOff, c.outAdj, c.outEdge
+	} else {
+		c.adjOff = make([]int32, nv+1)
+		for i, v := range c.verts {
+			deg := len(v.Out)
+			for _, e := range v.In {
+				if e.From != e.To {
+					deg++
+				}
+			}
+			c.adjOff[i+1] = c.adjOff[i] + int32(deg)
+		}
+		c.adjTo = make([]int32, ne2(c.adjOff, nv))
+		c.adjEdge = make([]int32, len(c.adjTo))
+		for i, v := range c.verts {
+			o := c.adjOff[i]
+			for _, e := range v.Out {
+				c.adjTo[o] = c.byID[e.To.ID]
+				c.adjEdge[o] = eIdx[e]
+				o++
+			}
+			for _, e := range v.In {
+				if e.From == e.To {
+					continue // self-loop already offered via Out
+				}
+				c.adjTo[o] = c.byID[e.From.ID]
+				c.adjEdge[o] = eIdx[e]
+				o++
+			}
+		}
+	}
+
+	c.pool.New = func() any {
+		return &csrScratch{
+			visited:  make([]uint32, nv),
+			settledE: make([]uint32, nv),
+			settledC: make([]int32, nv),
+		}
+	}
+	return c
+}
+
+func ne2(off []int32, nv int) int32 {
+	if nv == 0 {
+		return 0
+	}
+	return off[nv]
+}
+
+// Fresh reports whether the snapshot still describes g's current
+// topology: same graph object, no mutation since the build.
+func (c *CSR) Fresh(g *Graph) bool { return c.g == g && c.version == g.Version() }
+
+// Version returns the topology version the snapshot was built at.
+func (c *CSR) Version() uint64 { return c.version }
+
+// NumVertices returns the snapshot's vertex count.
+func (c *CSR) NumVertices() int { return len(c.verts) }
+
+// NumEdges returns the snapshot's edge count.
+func (c *CSR) NumEdges() int { return len(c.edges) }
+
+// ApproxBytes estimates the snapshot's resident size (index arrays plus
+// the id lookup map), for SHOW METRICS.
+func (c *CSR) ApproxBytes() int64 {
+	n := len(c.vids)*8 + len(c.vtuples)*8 + len(c.verts)*8 +
+		len(c.eids)*8 + len(c.etuples)*8 + len(c.edges)*8 +
+		(len(c.outOff)+len(c.outAdj)+len(c.outEdge))*4 +
+		(len(c.inOff)+len(c.inAdj)+len(c.inEdge))*4 +
+		len(c.byID)*24
+	if !c.directed {
+		n += (len(c.adjOff) + len(c.adjTo) + len(c.adjEdge)) * 4
+	}
+	return int64(n)
+}
+
+// indexOfVertex resolves a live vertex to its dense index, -1 when the
+// vertex is not part of the snapshot (pointer identity is required: an
+// equal-ID vertex of a different topology must not match, mirroring the
+// pointer kernels' identity semantics).
+func (c *CSR) indexOfVertex(v *Vertex) int32 {
+	if v == nil {
+		return -1
+	}
+	i, ok := c.byID[v.ID]
+	if !ok || c.verts[i] != v {
+		return -1
+	}
+	return i
+}
+
+// noTarget / badTarget are targetIndex sentinels: no target bound vs a
+// bound target that cannot match any snapshot vertex.
+const (
+	noTarget  int32 = -1
+	badTarget int32 = -2
+)
+
+func (c *CSR) targetIndex(v *Vertex) int32 {
+	if v == nil {
+		return noTarget
+	}
+	if i := c.indexOfVertex(v); i >= 0 {
+		return i
+	}
+	return badTarget
+}
+
+// csrNode is one node of a BFS traversal tree held in the scratch arena;
+// parents are arena indexes (-1 at the root) so partial paths share
+// prefixes without a single heap allocation.
+type csrNode struct {
+	parent int32
+	edge   int32 // adjacency edge index, -1 at the root
+	v      int32
+	depth  int32
+}
+
+// csrSPNode is the shortest-path counterpart, carrying the settled cost.
+type csrSPNode struct {
+	parent int32
+	edge   int32
+	v      int32
+	depth  int32
+	cost   float64
+}
+
+// csrHeapItem is one entry of the SPScan priority queue. seq preserves
+// insertion order for deterministic tie-breaking, exactly like the
+// pointer kernel's spHeap — and since (cost, seq) totally orders entries,
+// pop order is implementation-independent.
+type csrHeapItem struct {
+	cost float64
+	seq  int64
+	node int32
+}
+
+func heapLess(a, b csrHeapItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.seq < b.seq
+}
+
+// heapPush/heapPop implement a plain binary min-heap over a value slice.
+// container/heap would box every Push operand through an interface,
+// costing an allocation per candidate — the one thing these kernels must
+// not do.
+func heapPush(h []csrHeapItem, it csrHeapItem) []csrHeapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []csrHeapItem) (csrHeapItem, []csrHeapItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && heapLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && heapLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top, h
+}
+
+// csrScratch is the reusable per-traversal state: epoch-stamped visited
+// and settled slabs (one array store instead of a map insert per vertex),
+// the frontier/stack/queue buffers, the traversal-tree arenas, and the
+// iterator structs themselves. One scratch serves exactly one traversal
+// at a time; Release returns it to the snapshot's pool, so steady-state
+// traversal allocates nothing.
+type csrScratch struct {
+	epoch   uint32
+	visited []uint32 // visited[v] == epoch ⇒ v discovered this traversal
+
+	// SPScan settle accounting: settledC[v] is valid iff settledE[v] == epoch.
+	settledE []uint32
+	settledC []int32
+
+	dstack []csrFrame // DFS stack frames
+	queue  []int32    // BFS FIFO of arena indexes
+	nodes  []csrNode  // BFS traversal-tree arena
+	sp     []csrSPNode
+	heap   []csrHeapItem
+
+	// pathV/pathE are the index-form working path (DFS) or chain
+	// materialization buffer (BFS/SP): pathV holds len+1 vertex indexes,
+	// pathE len edge indexes.
+	pathV []int32
+	pathE []int32
+
+	// scratch is the pointer-form Path handed to Prune callbacks,
+	// refilled in place per candidate.
+	scratch Path
+
+	// The kernels live in the scratch so starting a traversal performs no
+	// heap allocation. An iterator becomes invalid the moment its Release
+	// runs; the pool may hand its memory to the next traversal.
+	dfs csrDFSIter
+	bfs csrBFSIter
+	spi csrSPIter
+}
+
+// getScratch takes a scratch from the pool and opens a new visited epoch.
+func (c *CSR) getScratch() *csrScratch {
+	s := c.pool.Get().(*csrScratch)
+	s.epoch++
+	if s.epoch == 0 { // wrapped: old stamps could alias the new epoch
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		for i := range s.settledE {
+			s.settledE[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s
+}
+
+// settled returns how many times vertex vi has been settled this
+// traversal (SPScan's per-vertex k cap).
+func (s *csrScratch) settled(vi int32) int32 {
+	if s.settledE[vi] != s.epoch {
+		return 0
+	}
+	return s.settledC[vi]
+}
+
+func (s *csrScratch) settleInc(vi int32) {
+	if s.settledE[vi] != s.epoch {
+		s.settledE[vi] = s.epoch
+		s.settledC[vi] = 0
+	}
+	s.settledC[vi]++
+}
+
+// sizeI32 resizes a scratch index slice to n, reusing capacity.
+func sizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// chainIdx fills s.pathV/s.pathE with the BFS arena chain ending at node
+// ni, plus an optional closing step.
+func (s *csrScratch) chainIdx(ni int32, closeEdge, closeVert int32) {
+	length := int(s.nodes[ni].depth)
+	if closeEdge >= 0 {
+		length++
+	}
+	s.pathV = sizeI32(s.pathV, length+1)
+	s.pathE = sizeI32(s.pathE, length)
+	i := length
+	if closeEdge >= 0 {
+		s.pathV[i] = closeVert
+		i--
+		s.pathE[i] = closeEdge
+	}
+	for x := ni; x >= 0; x = s.nodes[x].parent {
+		s.pathV[i] = s.nodes[x].v
+		if s.nodes[x].edge >= 0 {
+			s.pathE[i-1] = s.nodes[x].edge
+		}
+		i--
+	}
+}
+
+// spChainIdx is chainIdx over the shortest-path arena.
+func (s *csrScratch) spChainIdx(ni int32, closeEdge, closeVert int32) {
+	length := int(s.sp[ni].depth)
+	if closeEdge >= 0 {
+		length++
+	}
+	s.pathV = sizeI32(s.pathV, length+1)
+	s.pathE = sizeI32(s.pathE, length)
+	i := length
+	if closeEdge >= 0 {
+		s.pathV[i] = closeVert
+		i--
+		s.pathE[i] = closeEdge
+	}
+	for x := ni; x >= 0; x = s.sp[x].parent {
+		s.pathV[i] = s.sp[x].v
+		if s.sp[x].edge >= 0 {
+			s.pathE[i-1] = s.sp[x].edge
+		}
+		i--
+	}
+}
+
+func (s *csrScratch) chainContains(ni, vi int32) bool {
+	for x := ni; x >= 0; x = s.nodes[x].parent {
+		if s.nodes[x].v == vi {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *csrScratch) spChainContains(ni, vi int32) bool {
+	for x := ni; x >= 0; x = s.sp[x].parent {
+		if s.sp[x].v == vi {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPath resolves an index-form path into a fresh pointer-form Path —
+// the deferred materialization that runs only for emitted rows.
+func (c *CSR) buildPath(vidx, eidx []int32, cost float64) *Path {
+	p := &Path{
+		Edges: make([]*Edge, len(eidx)),
+		Verts: make([]*Vertex, len(vidx)),
+		Cost:  cost,
+	}
+	for i, vi := range vidx {
+		p.Verts[i] = c.verts[vi]
+	}
+	for i, ei := range eidx {
+		p.Edges[i] = c.edges[ei]
+	}
+	return p
+}
+
+// fillPath is buildPath into a reusable scratch Path (for Prune
+// candidates); the result is valid only until the next fill.
+func (c *CSR) fillPath(p *Path, vidx, eidx []int32, cost float64) *Path {
+	if cap(p.Edges) < len(eidx) {
+		p.Edges = make([]*Edge, len(eidx))
+	} else {
+		p.Edges = p.Edges[:len(eidx)]
+	}
+	if cap(p.Verts) < len(vidx) {
+		p.Verts = make([]*Vertex, len(vidx))
+	} else {
+		p.Verts = p.Verts[:len(vidx)]
+	}
+	p.Cost = cost
+	for i, vi := range vidx {
+		p.Verts[i] = c.verts[vi]
+	}
+	for i, ei := range eidx {
+		p.Edges[i] = c.edges[ei]
+	}
+	return p
+}

@@ -14,6 +14,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Vertex is one node of a graph view's topology.
@@ -36,6 +38,12 @@ type Edge struct {
 	From, To *Vertex
 	// Tuple is the tuple pointer (RowID) into the edges relational-source.
 	Tuple uint64
+
+	// outPos/inPos are the edge's positions within From.Out and To.In,
+	// maintained by AddEdge/removal so deleting an edge from a hub vertex
+	// is O(1) swap-and-truncate instead of an O(degree) scan. Adjacency
+	// order is therefore insertion order only until the first removal.
+	outPos, inPos int32
 }
 
 // Other returns the endpoint of e that is not v. It panics if v is not an
@@ -58,7 +66,45 @@ type Graph struct {
 
 	vertices map[int64]*Vertex
 	edges    map[int64]*Edge
+
+	// version counts topology mutations (vertex/edge add, remove, rename).
+	// Immutable derived structures — the sorted iteration-order caches
+	// below and the CSR read snapshot — record the version they were built
+	// at and are discarded when it moves.
+	version atomic.Uint64
+
+	// vertOrder/edgeOrder cache the ascending-ID iteration order served by
+	// Vertices/Edges, so VERTEXES/EDGES scans stop paying O(n log n) per
+	// statement. Built lazily under orderMu (concurrent readers share one
+	// build); mutators drop them by storing nil.
+	vertOrder atomic.Pointer[[]*Vertex]
+	edgeOrder atomic.Pointer[[]*Edge]
+	orderMu   sync.Mutex
 }
+
+// mutation kinds for topologyChanged.
+const (
+	changedVertices = 1 << iota
+	changedEdges
+)
+
+// topologyChanged bumps the version and drops the affected order caches.
+// Callers are the mutators, which the engine runs exclusively; the atomic
+// stores keep the invalidation visible to the concurrent readers that
+// follow.
+func (g *Graph) topologyChanged(what int) {
+	g.version.Add(1)
+	if what&changedVertices != 0 {
+		g.vertOrder.Store(nil)
+	}
+	if what&changedEdges != 0 {
+		g.edgeOrder.Store(nil)
+	}
+}
+
+// Version returns the topology mutation counter. Derived read structures
+// (the CSR snapshot) pair it with the Graph identity to detect staleness.
+func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // New creates an empty graph topology.
 func New(name string, directed bool) *Graph {
@@ -95,6 +141,7 @@ func (g *Graph) AddVertex(id int64, tuple uint64) (*Vertex, error) {
 	}
 	v := &Vertex{ID: id, Tuple: tuple}
 	g.vertices[id] = v
+	g.topologyChanged(changedVertices)
 	return v, nil
 }
 
@@ -114,8 +161,11 @@ func (g *Graph) AddEdge(id, from, to int64, tuple uint64) (*Edge, error) {
 	}
 	e := &Edge{ID: id, From: fv, To: tv, Tuple: tuple}
 	g.edges[id] = e
+	e.outPos = int32(len(fv.Out))
 	fv.Out = append(fv.Out, e)
+	e.inPos = int32(len(tv.In))
 	tv.In = append(tv.In, e)
+	g.topologyChanged(changedEdges)
 	return e, nil
 }
 
@@ -126,8 +176,9 @@ func (g *Graph) RemoveEdge(id int64) bool {
 		return false
 	}
 	delete(g.edges, id)
-	e.From.Out = removeEdge(e.From.Out, e)
-	e.To.In = removeEdge(e.To.In, e)
+	e.From.Out = removeOut(e.From.Out, e)
+	e.To.In = removeIn(e.To.In, e)
+	g.topologyChanged(changedEdges)
 	return true
 }
 
@@ -152,6 +203,7 @@ func (g *Graph) RemoveVertex(id int64) (cascaded []int64, ok bool) {
 		g.RemoveEdge(eid)
 	}
 	delete(g.vertices, id)
+	g.topologyChanged(changedVertices)
 	return cascaded, true
 }
 
@@ -172,6 +224,7 @@ func (g *Graph) RenameVertex(old, new int64) error {
 	delete(g.vertices, old)
 	v.ID = new
 	g.vertices[new] = v
+	g.topologyChanged(changedVertices)
 	return nil
 }
 
@@ -190,17 +243,36 @@ func (g *Graph) RenameEdge(old, new int64) error {
 	delete(g.edges, old)
 	e.ID = new
 	g.edges[new] = e
+	g.topologyChanged(changedEdges)
 	return nil
 }
 
-func removeEdge(list []*Edge, e *Edge) []*Edge {
-	for i, x := range list {
-		if x == e {
-			copy(list[i:], list[i+1:])
-			return list[:len(list)-1]
-		}
+// removeOut deletes e from an Out adjacency list in O(1) by swapping the
+// last entry into e's maintained position. Adjacency order is not
+// preserved across removals; traversal output order over a given topology
+// state is still deterministic because every structure (pointer kernels
+// and CSR alike) reads the same lists.
+func removeOut(list []*Edge, e *Edge) []*Edge {
+	last := len(list) - 1
+	if i := int(e.outPos); i != last {
+		moved := list[last]
+		list[i] = moved
+		moved.outPos = int32(i)
 	}
-	return list
+	list[last] = nil
+	return list[:last]
+}
+
+// removeIn is removeOut for an In adjacency list.
+func removeIn(list []*Edge, e *Edge) []*Edge {
+	last := len(list) - 1
+	if i := int(e.inPos); i != last {
+		moved := list[last]
+		list[i] = moved
+		moved.inPos = int32(i)
+	}
+	list[last] = nil
+	return list[:last]
 }
 
 // FanOut returns the number of edges leaving v under the graph's
@@ -234,16 +306,52 @@ func (g *Graph) AvgFanOut() float64 {
 	return 2 * float64(len(g.edges)) / float64(len(g.vertices))
 }
 
-// Vertices calls fn for every vertex in ascending id order until fn
-// returns false. The order is deterministic to keep query results stable.
-func (g *Graph) Vertices(fn func(*Vertex) bool) {
-	ids := make([]int64, 0, len(g.vertices))
-	for id := range g.vertices {
-		ids = append(ids, id)
+// sortedVertices returns (building and caching on first use) the vertex
+// set in ascending id order. The returned slice is immutable: mutators
+// drop the cache rather than edit it, so concurrent readers may share it.
+func (g *Graph) sortedVertices() []*Vertex {
+	if p := g.vertOrder.Load(); p != nil {
+		return *p
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !fn(g.vertices[id]) {
+	g.orderMu.Lock()
+	defer g.orderMu.Unlock()
+	if p := g.vertOrder.Load(); p != nil {
+		return *p
+	}
+	vs := make([]*Vertex, 0, len(g.vertices))
+	for _, v := range g.vertices {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	g.vertOrder.Store(&vs)
+	return vs
+}
+
+// sortedEdges is sortedVertices for the edge set.
+func (g *Graph) sortedEdges() []*Edge {
+	if p := g.edgeOrder.Load(); p != nil {
+		return *p
+	}
+	g.orderMu.Lock()
+	defer g.orderMu.Unlock()
+	if p := g.edgeOrder.Load(); p != nil {
+		return *p
+	}
+	es := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+	g.edgeOrder.Store(&es)
+	return es
+}
+
+// Vertices calls fn for every vertex in ascending id order until fn
+// returns false. The order is deterministic to keep query results stable,
+// and cached between topology mutations so repeated scans are O(V).
+func (g *Graph) Vertices(fn func(*Vertex) bool) {
+	for _, v := range g.sortedVertices() {
+		if !fn(v) {
 			return
 		}
 	}
@@ -251,13 +359,8 @@ func (g *Graph) Vertices(fn func(*Vertex) bool) {
 
 // Edges calls fn for every edge in ascending id order until fn returns false.
 func (g *Graph) Edges(fn func(*Edge) bool) {
-	ids := make([]int64, 0, len(g.edges))
-	for id := range g.edges {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !fn(g.edges[id]) {
+	for _, e := range g.sortedEdges() {
+		if !fn(e) {
 			return
 		}
 	}

@@ -92,18 +92,33 @@ func (n *pnode) contains(v *Vertex) bool {
 	return false
 }
 
-// materialize builds the concrete Path for emission (or for a Prune
-// callback), optionally appending one extra closing step.
+// materialize builds a fresh concrete Path for emission, optionally
+// appending one extra closing step.
 func (n *pnode) materialize(extraEdge *Edge, extraVert *Vertex) *Path {
+	return n.materializeInto(&Path{}, extraEdge, extraVert)
+}
+
+// materializeInto fills p with the node's path, reusing p's slice capacity
+// so a per-iterator scratch path serves every Prune candidate without
+// allocating (the dfsIter shared-working-path trick, ported to the
+// traversal-tree kernels). The result aliases p and is only valid until
+// the next call with the same p.
+func (n *pnode) materializeInto(p *Path, extraEdge *Edge, extraVert *Vertex) *Path {
 	length := n.depth
 	if extraEdge != nil {
 		length++
 	}
-	p := &Path{
-		Edges: make([]*Edge, length),
-		Verts: make([]*Vertex, length+1),
-		Cost:  n.cost,
+	if cap(p.Edges) < length {
+		p.Edges = make([]*Edge, length)
+	} else {
+		p.Edges = p.Edges[:length]
 	}
+	if cap(p.Verts) < length+1 {
+		p.Verts = make([]*Vertex, length+1)
+	} else {
+		p.Verts = p.Verts[:length+1]
+	}
+	p.Cost = n.cost
 	i := length
 	if extraEdge != nil {
 		p.Verts[i] = extraVert

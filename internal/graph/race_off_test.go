@@ -1,0 +1,5 @@
+//go:build !race
+
+package graph
+
+const raceEnabled = false

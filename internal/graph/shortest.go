@@ -53,9 +53,12 @@ type spIter struct {
 	h      spHeap
 	seq    int             // monotone tie-break sequence for heap determinism
 	count  map[*Vertex]int // times a vertex has been settled
-	err    error
-	done   bool
-	halt   stopper
+	// scratch is the reusable Path handed to Prune for candidate
+	// expansions (see bfsIter.scratch).
+	scratch Path
+	err     error
+	done    bool
+	halt    stopper
 }
 
 // NewShortest creates a shortest-path traversal (the paper's SPScan).
@@ -130,10 +133,16 @@ func (it *spIter) Next() *Path {
 						it.g.Name(), w, e.ID)
 					return false
 				}
-				np := &pnode{parent: n, edge: e, v: to, depth: pos + 1, cost: n.cost + w}
-				if it.spec.Prune != nil && !it.spec.Prune(np.materialize(nil, nil)) {
-					return true
+				if it.spec.Prune != nil {
+					// See bfsIter: prune on the scratch path so a rejected
+					// expansion allocates no tree node.
+					sp := n.materializeInto(&it.scratch, e, to)
+					sp.Cost = n.cost + w
+					if !it.spec.Prune(sp) {
+						return true
+					}
 				}
+				np := &pnode{parent: n, edge: e, v: to, depth: pos + 1, cost: n.cost + w}
 				it.pushNode(np)
 				return true
 			})

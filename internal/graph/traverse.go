@@ -53,6 +53,8 @@ type Spec struct {
 	// Prune, when non-nil, sees every partial path after an extension and
 	// returns false to drop it and its extensions. Used for pushed-down
 	// monotone aggregate bounds such as SUM(PS.Edges.Cost) < 10 (§6.2).
+	// The Path is the kernel's reusable scratch: it is only valid for the
+	// duration of the call and must not be retained.
 	Prune func(p *Path) bool
 	// Done, when non-nil, makes the traversal cooperative: the kernels poll
 	// the channel (amortized, every stopCheckMask+1 steps) and halt early
@@ -313,8 +315,11 @@ type bfsIter struct {
 
 	pendingRoot bool
 	root        *pnode
-	done        bool
-	halt        stopper
+	// scratch is the reusable Path handed to Prune for candidate
+	// expansions; only emitted paths are materialized fresh.
+	scratch Path
+	done    bool
+	halt    stopper
 }
 
 // NewBFS creates a breadth-first traversal over g (the paper's BFScan).
@@ -386,9 +391,9 @@ func (it *bfsIter) Next() *Path {
 				if it.spec.AllowCycle && to == it.spec.Start && pos+1 >= 2 &&
 					it.spec.lenOK(pos+1) && it.spec.targetOK(to) &&
 					okEdge(&it.spec, pos, e, n.v, to) {
-					cp := n.materialize(e, to)
-					if it.spec.Prune == nil || it.spec.Prune(cp) {
-						return cp
+					if it.spec.Prune == nil ||
+						it.spec.Prune(n.materializeInto(&it.scratch, e, to)) {
+						return n.materialize(e, to)
 					}
 				}
 				continue
@@ -399,10 +404,12 @@ func (it *bfsIter) Next() *Path {
 			if it.spec.FilterVertex != nil && !it.spec.FilterVertex(pos+1, to) {
 				continue
 			}
-			np := &pnode{parent: n, edge: e, v: to, depth: pos + 1}
-			if it.spec.Prune != nil && !it.spec.Prune(np.materialize(nil, nil)) {
+			// Prune consults the scratch path before the candidate's tree
+			// node even exists, so a rejected expansion allocates nothing.
+			if it.spec.Prune != nil && !it.spec.Prune(n.materializeInto(&it.scratch, e, to)) {
 				continue
 			}
+			np := &pnode{parent: n, edge: e, v: to, depth: pos + 1}
 			if it.spec.Policy == VisitGlobal {
 				it.visited[to] = true
 			}

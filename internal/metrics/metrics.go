@@ -200,6 +200,14 @@ type GraphViewStats struct {
 	// StatsAgeNS is the age of the published §6.3 statistics, -1 when no
 	// statistics have been computed (or they were invalidated).
 	StatsAgeNS int64
+	// CSR snapshot cache gauges: lifetime build count and cumulative build
+	// time, cache hits/misses observed by CSR-layout scans, and the
+	// approximate resident size of the cached snapshot.
+	CSRBuilds  int64
+	CSRBuildNS int64
+	CSRHits    int64
+	CSRMisses  int64
+	CSRBytes   int64
 }
 
 // Snapshot renders every engine-wide counter plus the supplied per-view
@@ -240,6 +248,11 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 			KV{p + "edges", gv.Edges},
 			KV{p + "maint_ops", gv.MaintOps},
 			KV{p + "stats_age_ns", gv.StatsAgeNS},
+			KV{p + "csr_builds", gv.CSRBuilds},
+			KV{p + "csr_build_ns", gv.CSRBuildNS},
+			KV{p + "csr_hits", gv.CSRHits},
+			KV{p + "csr_misses", gv.CSRMisses},
+			KV{p + "csr_bytes", gv.CSRBytes},
 		)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

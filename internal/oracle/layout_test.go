@@ -1,0 +1,169 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"grfusion/internal/core"
+	"grfusion/internal/datagen"
+	"grfusion/internal/plan"
+)
+
+// layoutMetric reads one metrics-snapshot entry by name (-1 when absent).
+func layoutMetric(eng *core.Engine, name string) int64 {
+	for _, kv := range eng.MetricsSnapshot() {
+		if kv.Name == name {
+			return kv.Value
+		}
+	}
+	return -1
+}
+
+// layoutQueries is the per-batch probe battery for the layout differential.
+// Every query has a finite, fully-materialized answer so the two engines'
+// result sets can be compared byte-for-byte (sorted: parallel multi-source
+// scans do not pin a global emission order).
+func (sc *scenario) layoutQueries(rng *rand.Rand, st *datagen.GraphState) []string {
+	verts := st.VertexIDs()
+	if len(verts) == 0 {
+		return nil
+	}
+	pick := func() int64 { return verts[rng.Intn(len(verts))] }
+	src, dst := pick(), pick()
+	selPct := 10 + rng.Intn(85)
+	k := 1 + rng.Intn(3)
+	qs := []string{
+		fmt.Sprintf("SELECT PS.PathString FROM %s.Paths PS WHERE PS.StartVertex.Id = %d AND PS.Length <= %d",
+			sc.gv, src, k+1),
+		fmt.Sprintf("SELECT PS.PathString FROM %s.Paths PS WHERE PS.StartVertex.Id = %d AND PS.Length <= %d AND PS.Edges[0..*].sel < %d",
+			sc.gv, dst, k+2, selPct),
+		fmt.Sprintf("SELECT PS.PathString, PS.Length FROM %s.Paths PS WHERE PS.StartVertex.Id = %d AND PS.EndVertex.Id = %d AND PS.Length <= 4",
+			sc.gv, src, dst),
+		fmt.Sprintf("SELECT TOP 1 SUM(PS.Edges.w) FROM %s.Paths PS HINT(SHORTESTPATH(w)) WHERE PS.StartVertex.Id = %d AND PS.EndVertex.Id = %d",
+			sc.gv, src, dst),
+		fmt.Sprintf("SELECT COUNT(*) FROM %s.Paths PS HINT(BFS) WHERE PS.Length <= %d", sc.gv, k),
+		fmt.Sprintf("SELECT COUNT(*) FROM %s.Paths PS HINT(DFS) WHERE PS.Length <= %d AND PS.Edges[0..*].sel < %d",
+			sc.gv, k, selPct),
+	}
+	if !sc.directed {
+		qs = append(qs, fmt.Sprintf(
+			"SELECT COUNT(P) FROM %s.Paths P WHERE P.Length = 3 AND P.Edges[0..*].sel < %d AND P.Edges[2].EndVertex = P.Edges[0].StartVertex",
+			sc.gv, selPct))
+	}
+	return qs
+}
+
+// TestLayoutDifferential is the CSR acceptance oracle: the same randomized
+// scenarios, the same DML history, one engine pinned to the pointer kernels
+// and one pinned to the CSR kernels — every query answer must be
+// byte-identical after every batch. Because the layout is forced, the CSR
+// engine exercises snapshot rebuilds after each mutation batch, so any
+// stale-snapshot read shows up as a differential divergence.
+func TestLayoutDifferential(t *testing.T) {
+	cfg := Config{Seed: 777, Workers: 2}.defaults()
+	for round := 0; round < 8; round++ {
+		roundSeed := RoundSeed(cfg.Seed, round)
+		sc := buildScenario(cfg, roundSeed)
+
+		engPtr, err := sc.newEngine()
+		if err != nil {
+			t.Fatalf("round %d: ptr engine: %v", round, err)
+		}
+		engCSR, err := sc.newEngine()
+		if err != nil {
+			t.Fatalf("round %d: csr engine: %v", round, err)
+		}
+		engPtr.SetPlanOptions(plan.Options{ForceLayout: "ptr"})
+		engCSR.SetPlanOptions(plan.Options{ForceLayout: "csr"})
+
+		st := datagen.NewGraphState(sc.initial)
+		opRNG := rand.New(rand.NewSource(roundSeed + 1))
+
+		compare := func(batch int) {
+			t.Helper()
+			qRNG := rand.New(rand.NewSource(checkSeed(roundSeed, batch)))
+			for _, q := range sc.layoutQueries(qRNG, st) {
+				resP, errP := engPtr.Execute(q)
+				resC, errC := engCSR.Execute(q)
+				if (errP == nil) != (errC == nil) {
+					t.Fatalf("round %d batch %d: error divergence on %q: ptr=%v csr=%v",
+						round, batch, q, errP, errC)
+				}
+				if errP != nil {
+					continue
+				}
+				gotP, gotC := renderRows(resP, true), renderRows(resC, true)
+				if !sameRows(gotP, gotC) {
+					t.Fatalf("round %d batch %d: layout divergence on %q:\n ptr: %v\n csr: %v",
+						round, batch, q, gotP, gotC)
+				}
+			}
+		}
+
+		compare(0)
+		for b := 1; b <= sc.batches; b++ {
+			for j := 0; j < sc.opsPerBatch; j++ {
+				m := st.Mutate(opRNG)
+				q := sc.mutationSQL(m)
+				_, errP := engPtr.Execute(q)
+				_, errC := engCSR.Execute(q)
+				if (errP == nil) != (errC == nil) {
+					t.Fatalf("round %d batch %d: DML divergence on %q: ptr=%v csr=%v",
+						round, b, q, errP, errC)
+				}
+				if errP == nil {
+					st.Apply(m)
+				}
+			}
+			compare(b)
+		}
+
+		// Prove the forced layouts actually routed the scans: the CSR engine
+		// must have built snapshots, the pointer engine must never have.
+		bKey := "graphview." + sc.gv + ".csr_builds"
+		if n := layoutMetric(engCSR, bKey); n <= 0 {
+			t.Errorf("round %d: csr engine reports %d CSR builds, want > 0", round, n)
+		}
+		if n := layoutMetric(engPtr, bKey); n != 0 {
+			t.Errorf("round %d: ptr engine reports %d CSR builds, want 0", round, n)
+		}
+		// Post-DML freshness accounting: each batch invalidated the snapshot,
+		// so misses must be at least the number of mutation batches that ran
+		// path queries against a changed topology.
+		if n := layoutMetric(engCSR, "graphview."+sc.gv+".csr_misses"); n <= 0 {
+			t.Errorf("round %d: csr engine reports %d CSR misses, want > 0", round, n)
+		}
+	}
+}
+
+// TestLayoutExplain pins the plan surface: a forced layout must be visible
+// in EXPLAIN output so experiment ablations can verify which kernels ran.
+func TestLayoutExplain(t *testing.T) {
+	cfg := Config{Seed: 31, Workers: 1}.defaults()
+	sc := buildScenario(cfg, RoundSeed(cfg.Seed, 0))
+	eng, err := sc.newEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fmt.Sprintf("EXPLAIN SELECT PS.PathString FROM %s.Paths PS WHERE PS.StartVertex.Id = 0 AND PS.Length <= 2", sc.gv)
+	for _, tc := range []struct{ force, want string }{
+		{"ptr", "layout=ptr"},
+		{"csr", "layout=csr"},
+	} {
+		eng.SetPlanOptions(plan.Options{ForceLayout: tc.force})
+		res, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("force=%s: %v", tc.force, err)
+		}
+		var plan strings.Builder
+		for _, row := range res.Rows {
+			plan.WriteString(row[0].String())
+			plan.WriteByte('\n')
+		}
+		if !strings.Contains(plan.String(), tc.want) {
+			t.Errorf("force=%s: EXPLAIN missing %q:\n%s", tc.force, tc.want, plan.String())
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Options struct {
 	// ForceTraversal overrides the physical operator chosen for PathScans
 	// without an explicit hint: "bfs", "dfs", or "" for the cost rule.
 	ForceTraversal string
+	// ForceLayout overrides the topology layout chosen for PathScans:
+	// "csr", "ptr", or "" for the size rule (CSR once the topology is big
+	// enough to amortize a snapshot build). Benchmarks and the
+	// differential oracle use it to pin both layouts over the same data.
+	ForceLayout string
 	// MaterializeJoins wraps every join output in a temp-table barrier,
 	// reproducing VoltDB's materialize-per-fragment execution model. The
 	// SQLGraph baseline runs in this mode (§7.2's intermediate-memory
