@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics csr oracle chaos fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos fmt vet clean
 
 all: build test
 
@@ -49,6 +49,15 @@ metrics:
 csr:
 	$(GO) run ./cmd/grbench -exp csr -queries 6 -json BENCH_csr.json -baseline BENCH_csr_baseline.json
 
+# Whole-graph analytics benchmark + regression gate: naive single-threaded
+# references vs the CSR kernels behind the PAGERANK / CONNECTED_COMPONENTS
+# / LABEL_PROPAGATION / DEGREE_CENTRALITY table-valued functions. Fails if
+# any gated speedup drops more than 10% below the committed baseline
+# floor, or if a steady-state components/degree run allocates. CI uploads
+# BENCH_analytics.json on every run.
+analytics:
+	$(GO) run ./cmd/grbench -exp analytics -queries 6 -json BENCH_analytics.json -baseline BENCH_analytics_baseline.json
+
 fmt:
 	gofmt -l -w .
 
@@ -57,4 +66,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_concurrency.json BENCH_observability.json BENCH_csr.json ORACLE_repro.sql
+	rm -f BENCH_concurrency.json BENCH_observability.json BENCH_csr.json BENCH_analytics.json ORACLE_repro.sql

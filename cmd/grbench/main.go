@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, observability, csr, oracle, all)")
+		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, observability, csr, analytics, oracle, all)")
 		expAlias = flag.String("experiment", "", "alias for -exp")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		queries  = flag.Int("queries", 10, "query instances averaged per data point")
@@ -41,7 +41,7 @@ func main() {
 		workers  = flag.Int("workers", 2, "oracle: engine worker-pool size")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.String("json", "", "also write rows with run metadata to this JSON file (e.g. BENCH_concurrency.json)")
-		baseline = flag.String("baseline", "", "csr: regression-gate this run against a committed BENCH_csr baseline JSON (exit 1 on >10% speedup loss or steady-state allocations)")
+		baseline = flag.String("baseline", "", "csr/analytics: regression-gate this run against a committed baseline JSON (exit 1 on >10% speedup loss or steady-state allocations)")
 	)
 	flag.Parse()
 	if *expAlias != "" {
@@ -92,11 +92,15 @@ func main() {
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		if err := bench.CheckCSRBaseline(*baseline, rows, 0.10); err != nil {
+		check := bench.CheckCSRBaseline
+		if *exp == "analytics" {
+			check = bench.CheckAnalyticsBaseline
+		}
+		if err := check(*baseline, rows, 0.10); err != nil {
 			fmt.Fprintf(os.Stderr, "grbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("csr gate: no speedup regression vs %s, 0 steady-state allocs\n", *baseline)
+		fmt.Printf("%s gate: no speedup regression vs %s, 0 steady-state allocs\n", *exp, *baseline)
 	}
 }
 

@@ -629,6 +629,7 @@ func All(cfg Config) []Row {
 	rows = append(rows, Concurrency(cfg)...)
 	rows = append(rows, Observability(cfg)...)
 	rows = append(rows, CSRBench(cfg)...)
+	rows = append(rows, AnalyticsBench(cfg)...)
 	return rows
 }
 
@@ -645,4 +646,5 @@ var Experiments = map[string]func(Config) []Row{
 	"concurrency":   Concurrency,
 	"observability": Observability,
 	"csr":           CSRBench,
+	"analytics":     AnalyticsBench,
 }

@@ -384,6 +384,7 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, *exec.I
 	ec.Workers = e.opts.Workers
 	ec.Bind(ctx)
 	rows, err := exec.Collect(ec, run)
+	e.observeAnalytics(op)
 	if err != nil {
 		return nil, prof, err
 	}

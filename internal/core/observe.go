@@ -115,6 +115,32 @@ func (e *Engine) observeStatement(kind int, text string, d time.Duration, err er
 	log.Print(sb.String())
 }
 
+// observeAnalytics folds the analytics actuals of a finished plan into the
+// registry. Plans are per-statement, so the operators' counters equal the
+// statement's work; it runs even after errors, counting kernels that ran
+// before the failure.
+func (e *Engine) observeAnalytics(op exec.Operator) {
+	walkOperators(op, func(o exec.Operator) {
+		if as, ok := o.(*exec.AnalyticsScan); ok {
+			runs, iters, _, _ := as.Actuals()
+			e.metrics.AnalyticsRuns.Add(runs)
+			e.metrics.AnalyticsIters.Add(iters)
+		}
+	})
+}
+
+// walkOperators visits every operator of a bare (uninstrumented) plan tree
+// in preorder.
+func walkOperators(op exec.Operator, fn func(exec.Operator)) {
+	if op == nil {
+		return
+	}
+	fn(op)
+	for _, c := range op.Children() {
+		walkOperators(c, fn)
+	}
+}
+
 // viewStatsLocked gathers the per-graph-view gauges for a metrics
 // snapshot. Callers hold the statement lock (either side).
 func (e *Engine) viewStatsLocked() []metrics.GraphViewStats {
@@ -180,6 +206,20 @@ func (e *Engine) runExplainAnalyze(ctx context.Context, op exec.Operator) (*Resu
 	add("Counters: edges_traversed=%d paths_emitted=%d",
 		atomic.LoadInt64(&ec.EdgesTraversed), ec.PathsEmitted)
 	root.Walk(func(n *exec.Instrumented) {
+		if as, ok := n.Op.(*exec.AnalyticsScan); ok {
+			runs, iters, td, bu := as.Actuals()
+			e.metrics.AnalyticsRuns.Add(runs)
+			e.metrics.AnalyticsIters.Add(iters)
+			add("Analytics[%s.%s]: runs=%d iters=%d topdown_levels=%d bottomup_levels=%d layout=%s",
+				as.GV.Name, as.Fn, runs, iters, td, bu, as.Layout)
+			if as.Layout == exec.LayoutCSR {
+				builds, buildNS, hits, misses, bytes := as.GV.CSRStats()
+				add("CSR[%s]: builds=%d build_time=%v hits=%d misses=%d bytes=%d",
+					as.GV.Name, builds, time.Duration(buildNS).Round(time.Microsecond),
+					hits, misses, bytes)
+			}
+			return
+		}
 		pj, ok := n.Op.(*exec.PathProbeJoin)
 		if !ok {
 			return

@@ -61,7 +61,8 @@ type CSR struct {
 	adjTo   []int32
 	adjEdge []int32
 
-	pool sync.Pool // of *csrScratch
+	pool  sync.Pool // of *csrScratch
+	apool sync.Pool // of *analyticsScratch (see analytics.go)
 }
 
 // BuildCSR snapshots g. The caller must hold the engine's read (or write)
@@ -161,6 +162,7 @@ func BuildCSR(g *Graph) *CSR {
 			settledC: make([]int32, nv),
 		}
 	}
+	c.apool.New = func() any { return &analyticsScratch{} }
 	return c
 }
 

@@ -163,6 +163,13 @@ type Metrics struct {
 
 	// StatsRefreshes counts graph-statistics recomputations (§6.3).
 	StatsRefreshes Counter
+
+	// AnalyticsRuns counts whole-graph analytics kernel executions
+	// (PAGERANK, CONNECTED_COMPONENTS, LABEL_PROPAGATION,
+	// DEGREE_CENTRALITY); AnalyticsIters accumulates their iterations
+	// (BFS levels for components).
+	AnalyticsRuns  Counter
+	AnalyticsIters Counter
 }
 
 // CountStatement records one completed statement of the given kind with
@@ -239,6 +246,8 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 		KV{"lock.wait_ns", m.LockWaitNS.Value()},
 		KV{"graph.maint_ops", maintTotal},
 		KV{"graph.stats_refreshes", m.StatsRefreshes.Value()},
+		KV{"analytics.runs", m.AnalyticsRuns.Value()},
+		KV{"analytics.iterations", m.AnalyticsIters.Value()},
 		KV{"slow_queries", m.SlowQueries.Value()},
 	)
 	for _, gv := range views {

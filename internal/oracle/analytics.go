@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"grfusion/internal/core"
+	"grfusion/internal/datagen"
+	"grfusion/internal/graph"
+	"grfusion/internal/plan"
+)
+
+// checkAnalytics is the whole-graph analytics differential: every analytics
+// table-valued function is cross-checked against the naive pure-Go
+// references over an independently rebuilt topology, the two physical
+// layouts (ptr and csr) must return byte-identical relations, and so must
+// any worker-pool size.
+//
+// Integer-valued results (components, labels, degrees) are compared
+// exactly: the component rule (smallest vertex id) and the label update
+// rule (most frequent neighbor label, ties to the smallest) are functions
+// of the neighbor multiset, so edge insertion order cannot change them.
+// PageRank is compared within epsilon: the engine's live topology and the
+// reference rebuild order adjacency lists differently, so the float sums
+// accumulate in different orders.
+func (sc *scenario) checkAnalytics(eng *core.Engine, st *datagen.GraphState) *Violation {
+	if len(st.Verts) == 0 {
+		return nil
+	}
+	ref := st.Dataset("oracle-analytics").Build()
+
+	const damping, prIters, lpIters = 0.85, 20, 20
+	refRanks, _, err := graph.RefPageRank(nil, ref, damping, prIters, 1e-9)
+	if err != nil {
+		return violationf("analytics-pagerank", "reference: %v", err)
+	}
+	refComp, _, err := graph.RefComponents(nil, ref)
+	if err != nil {
+		return violationf("analytics-components", "reference: %v", err)
+	}
+	refLbl, _, err := graph.RefLabelProp(nil, ref, lpIters)
+	if err != nil {
+		return violationf("analytics-labelprop", "reference: %v", err)
+	}
+	refOut, refIn := graph.RefDegrees(ref)
+
+	q := func(call string) string {
+		return fmt.Sprintf("SELECT * FROM %s.%s X", sc.gv, call)
+	}
+
+	// PageRank vs the reference, within float tolerance.
+	res, err := eng.Execute(q(fmt.Sprintf("PAGERANK(%v, %d)", damping, prIters)))
+	if err != nil {
+		return violationf("analytics-pagerank", "engine: %v", err)
+	}
+	if len(res.Rows) != len(st.Verts) {
+		return violationf("analytics-pagerank", "engine returned %d rows, model has %d vertexes",
+			len(res.Rows), len(st.Verts))
+	}
+	for _, row := range res.Rows {
+		id, rank := row[0].I, row[1].F
+		want, ok := refRanks[id]
+		if !ok {
+			return violationf("analytics-pagerank", "engine emitted unknown vertex %d", id)
+		}
+		if math.Abs(rank-want) > 1e-6 {
+			return violationf("analytics-pagerank",
+				"rank(%d) = %v, reference %v", id, rank, want)
+		}
+	}
+
+	// Integer-valued functions vs their references, exactly.
+	intChecks := []struct {
+		check string
+		call  string
+		want  func(id int64) []int64
+	}{
+		{"analytics-components", "CONNECTED_COMPONENTS()",
+			func(id int64) []int64 { return []int64{refComp[id]} }},
+		{"analytics-labelprop", fmt.Sprintf("LABEL_PROPAGATION(%d)", lpIters),
+			func(id int64) []int64 { return []int64{refLbl[id]} }},
+		{"analytics-degree", "DEGREE_CENTRALITY()",
+			func(id int64) []int64 { return []int64{refOut[id], refIn[id]} }},
+	}
+	for _, c := range intChecks {
+		res, err := eng.Execute(q(c.call))
+		if err != nil {
+			return violationf(c.check, "engine: %v", err)
+		}
+		if len(res.Rows) != len(st.Verts) {
+			return violationf(c.check, "engine returned %d rows, model has %d vertexes",
+				len(res.Rows), len(st.Verts))
+		}
+		for _, row := range res.Rows {
+			id := row[0].I
+			if _, ok := refComp[id]; !ok {
+				return violationf(c.check, "engine emitted unknown vertex %d", id)
+			}
+			for j, want := range c.want(id) {
+				if got := row[1+j].I; got != want {
+					return violationf(c.check, "%s: value[%d] of vertex %d = %d, reference %d",
+						c.call, j, id, got, want)
+				}
+			}
+		}
+	}
+
+	// Layout invariance: ptr and csr must return byte-identical relations
+	// (the kernels share reduction order with the references by
+	// construction), and so must any worker count on the parallel CSR path.
+	for _, call := range []string{
+		fmt.Sprintf("PAGERANK(%v, %d)", damping, prIters),
+		"CONNECTED_COMPONENTS()",
+		fmt.Sprintf("LABEL_PROPAGATION(%d)", lpIters),
+		"DEGREE_CENTRALITY()",
+	} {
+		eng.SetPlanOptions(plan.Options{ForceLayout: "ptr"})
+		resPtr, errPtr := eng.Execute(q(call))
+		eng.SetPlanOptions(plan.Options{ForceLayout: "csr"})
+		eng.SetWorkers(1)
+		resCSR1, errCSR1 := eng.Execute(q(call))
+		eng.SetWorkers(4)
+		resCSR4, errCSR4 := eng.Execute(q(call))
+		eng.SetPlanOptions(plan.Options{})
+		eng.SetWorkers(sc.workers)
+		if errPtr != nil || errCSR1 != nil || errCSR4 != nil {
+			return violationf("analytics-layout", "%s: ptr=%v csr1=%v csr4=%v",
+				call, errPtr, errCSR1, errCSR4)
+		}
+		rPtr := renderRows(resPtr, false)
+		rCSR1 := renderRows(resCSR1, false)
+		rCSR4 := renderRows(resCSR4, false)
+		if !sameRows(rPtr, rCSR1) {
+			return violationf("analytics-layout",
+				"%s: ptr and csr layouts disagree (%d vs %d rows)", call, len(rPtr), len(rCSR1))
+		}
+		if !sameRows(rCSR1, rCSR4) {
+			return violationf("analytics-layout",
+				"%s: results differ between 1 and 4 workers", call)
+		}
+	}
+	return nil
+}

@@ -312,6 +312,9 @@ func (sc *scenario) checkBatch(eng *core.Engine, st *datagen.GraphState, rng *ra
 	if v := sc.checkMetamorphic(eng, rng); v != nil {
 		return v
 	}
+	if v := sc.checkAnalytics(eng, st); v != nil {
+		return v
+	}
 	if v := sc.checkSnapshot(eng); v != nil {
 		return v
 	}

@@ -61,6 +61,7 @@ const (
 	kindVertexes
 	kindEdges
 	kindPaths
+	kindAnalytics
 )
 
 type fromInfo struct {
@@ -232,6 +233,24 @@ func (p *Planner) resolveFrom(items []sql.FromItem) ([]fromInfo, error) {
 			case sql.MemberEdges:
 				fi.kind = kindEdges
 				fi.schema = gv.EdgeSchema().WithQualifier(fi.alias)
+			case sql.MemberAnalytics:
+				fn, ok := exec.AnalyticsFuncByName(item.Func)
+				if !ok {
+					return nil, fmt.Errorf("unknown analytics function %q on graph view %q (want PAGERANK, CONNECTED_COMPONENTS, LABEL_PROPAGATION or DEGREE_CENTRALITY)", item.Func, item.Name)
+				}
+				lo, hi := fn.Arity()
+				if len(item.Args) < lo || len(item.Args) > hi {
+					return nil, fmt.Errorf("%s expects between %d and %d arguments, got %d", fn, lo, hi, len(item.Args))
+				}
+				for _, a := range item.Args {
+					switch a.(type) {
+					case *expr.Literal, *expr.Param:
+					default:
+						return nil, fmt.Errorf("%s arguments must be literals or parameters, got %s", fn, a)
+					}
+				}
+				fi.kind = kindAnalytics
+				fi.schema = exec.AnalyticsSchema(fn).WithQualifier(fi.alias)
 			default:
 				fi.kind = kindPaths
 				fi.schema = types.NewSchema(exec.PathColumn(fi.alias))
@@ -276,6 +295,13 @@ func (p *Planner) buildScan(fi *fromInfo, conj []expr.Expr,
 			return nil, err
 		}
 		return exec.NewEdgeScan(fi.gv, fi.alias, f), nil
+	case kindAnalytics:
+		f, err := bindLocal(conj)
+		if err != nil {
+			return nil, err
+		}
+		fn, _ := exec.AnalyticsFuncByName(fi.item.Func)
+		return exec.NewAnalyticsScan(fi.gv, fi.alias, fn, fi.item.Args, p.chooseLayout(fi), f), nil
 	}
 
 	// Table: try an index point lookup on `col = literal`.

@@ -1,0 +1,72 @@
+package sql
+
+import (
+	"testing"
+
+	"grfusion/internal/expr"
+)
+
+// TestParseAnalyticsTVF covers the FROM-clause analytics table-valued
+// function syntax: GV.FN(args...) with optional alias.
+func TestParseAnalyticsTVF(t *testing.T) {
+	s := parseSelect(t, `SELECT * FROM GV.PAGERANK(0.85, 20) PR`)
+	if len(s.From) != 1 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	fi := s.From[0]
+	if fi.Member != MemberAnalytics || fi.Name != "GV" || fi.Func != "PAGERANK" || fi.Alias != "PR" {
+		t.Fatalf("item: %+v", fi)
+	}
+	if len(fi.Args) != 2 {
+		t.Fatalf("args: %+v", fi.Args)
+	}
+	if lit, ok := fi.Args[0].(*expr.Literal); !ok || lit.Val.F != 0.85 {
+		t.Fatalf("arg0: %+v", fi.Args[0])
+	}
+	if lit, ok := fi.Args[1].(*expr.Literal); !ok || lit.Val.I != 20 {
+		t.Fatalf("arg1: %+v", fi.Args[1])
+	}
+
+	// Zero-argument call, no alias: the range variable defaults to the view
+	// name.
+	s = parseSelect(t, `SELECT * FROM GV.CONNECTED_COMPONENTS()`)
+	fi = s.From[0]
+	if fi.Member != MemberAnalytics || fi.Func != "CONNECTED_COMPONENTS" || len(fi.Args) != 0 {
+		t.Fatalf("item: %+v", fi)
+	}
+	if fi.AliasOrName() != "GV" {
+		t.Fatalf("alias: %q", fi.AliasOrName())
+	}
+
+	// Parameters are valid arguments (prepared statements).
+	s = parseSelect(t, `SELECT * FROM GV.LABEL_PROPAGATION(?) LP`)
+	fi = s.From[0]
+	if len(fi.Args) != 1 {
+		t.Fatalf("args: %+v", fi.Args)
+	}
+	if _, ok := fi.Args[0].(*expr.Param); !ok {
+		t.Fatalf("arg0: %+v", fi.Args[0])
+	}
+
+	// TVFs mix with tables and other members in one FROM list.
+	s = parseSelect(t, `SELECT U.lname, D.out_degree
+		FROM Users U, GV.DEGREE_CENTRALITY() D
+		WHERE U.uid = D.ID`)
+	if len(s.From) != 2 || s.From[1].Member != MemberAnalytics || s.From[1].Func != "DEGREE_CENTRALITY" {
+		t.Fatalf("from: %+v", s.From)
+	}
+}
+
+func TestParseAnalyticsTVFErrors(t *testing.T) {
+	for _, in := range []string{
+		`SELECT * FROM GV.PAGERANK(`,            // unterminated args
+		`SELECT * FROM GV.PAGERANK(0.85,)`,      // trailing comma
+		`SELECT * FROM GV.PAGERANK(0.85 20)`,    // missing comma
+		`SELECT * FROM GV.BOGUS`,                // member is not VERTEXES/EDGES/PATHS and not a call
+		`SELECT * FROM GV.PAGERANK() HINT(DFS)`, // hints only apply to PATHS
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%s: expected parse error", in)
+		}
+	}
+}

@@ -89,6 +89,10 @@ const (
 	MemberVertexes
 	MemberEdges
 	MemberPaths
+	// MemberAnalytics is a whole-graph analytics table-valued function
+	// over the view, e.g. GV.PAGERANK(0.85, 20); Func and Args carry the
+	// call.
+	MemberAnalytics
 )
 
 // HintKind selects a physical traversal operator (§6.3).
@@ -112,13 +116,18 @@ type TraversalHint struct {
 	AllPaths bool
 }
 
-// FromItem is one entry of a FROM clause: a table, or a graph view member,
-// with an optional alias and traversal hint.
+// FromItem is one entry of a FROM clause: a table, a graph view member, or
+// an analytics table-valued function over a graph view, with an optional
+// alias and traversal hint.
 type FromItem struct {
 	Name   string
 	Member Member
 	Alias  string
 	Hint   TraversalHint
+	// Func and Args are set for MemberAnalytics: the function name as
+	// written and its constant arguments.
+	Func string
+	Args []expr.Expr
 }
 
 // AliasOrName returns the range-variable name the item binds.

@@ -787,8 +787,30 @@ func (p *parser) parseFromItem() (FromItem, error) {
 			item.Member = MemberEdges
 		case p.acceptKeyword("PATHS"):
 			item.Member = MemberPaths
+		case p.peek().Kind == TokIdent && p.peek2().Kind == TokSymbol && p.peek2().Text == "(":
+			// An analytics table-valued function: GV.PAGERANK(0.85, 20).
+			// The function names are deliberately not keywords, so they
+			// stay usable as identifiers everywhere else.
+			item.Member = MemberAnalytics
+			item.Func = p.next().Text
+			p.next() // consume "("
+			if !p.acceptSymbol(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return FromItem{}, err
+					}
+					item.Args = append(item.Args, arg)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return FromItem{}, err
+				}
+			}
 		default:
-			return FromItem{}, p.errf("expected VERTEXES, EDGES or PATHS after %q.", name)
+			return FromItem{}, p.errf("expected VERTEXES, EDGES, PATHS or an analytics function after %q.", name)
 		}
 	}
 	if p.peek().Kind == TokIdent {
