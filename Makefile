@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos recover durbench fmt vet clean
 
 all: build test
 
@@ -30,6 +30,25 @@ oracle:
 # aborts under the race detector. CI runs the same budget.
 chaos:
 	GRF_SOAK=30 $(GO) test -race -v -run 'TestChaos' -timeout 8m ./internal/server
+
+# Kill-and-recover battery: the focused durability/recovery tests, a 20s
+# kill-and-recover chaos soak (injected WAL faults, checkpoint crash
+# windows, torn tails, differential against a non-durable reference), a
+# WAL-replay fuzz budget, and the crash-recovery oracle. CI's recovery job
+# runs the same battery.
+recover:
+	$(GO) test -race -v ./internal/wal
+	GRF_SOAK=20 $(GO) test -race -v -timeout 8m \
+		-run 'Recovery|Durab|Checkpoint|WAL|Replay|Alloc|UndoInsert|Snapshot' \
+		./internal/core ./internal/storage
+	$(GO) test -race -run='^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./internal/core
+	$(GO) run ./cmd/grbench -experiment recovery -seed 42 -duration 30s
+
+# Durability cost: per-insert WAL append overhead per fsync policy against
+# a no-WAL baseline, plus replay and checkpoint timings. CI uploads
+# BENCH_durability.json on every run.
+durbench:
+	$(GO) run ./cmd/grbench -exp durability -json BENCH_durability.json
 
 # Sequential-vs-parallel traversal timings; emits the perf-trajectory
 # artifact CI uploads on every run.

@@ -7,12 +7,15 @@
 //	grbench -exp fig7 -scale 1.0 -queries 10
 //	grbench -exp all -scale 0.5
 //	grbench -experiment oracle -seed 42 -duration 30s
+//	grbench -experiment recovery -seed 42 -duration 30s
 //
 // The oracle experiment runs the differential/metamorphic correctness
 // harness (internal/oracle) instead of a benchmark: randomized DML + PATHS
 // workloads cross-checked against independent reference implementations.
 // On failure it writes ORACLE_repro.sql, prints a one-line repro command,
-// and exits 1.
+// and exits 1. The recovery experiment is the crash-recovery variant:
+// every workload batch runs on a durable engine that is killed and
+// recovered from its WAL before the cross-checks run.
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, observability, csr, analytics, oracle, all)")
+		exp      = flag.String("exp", "all", "experiment id (table2, fig7, fig8, fig9, fig10, table3, fig11, ablation, concurrency, observability, csr, analytics, durability, oracle, recovery, all)")
 		expAlias = flag.String("experiment", "", "alias for -exp")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		queries  = flag.Int("queries", 10, "query instances averaged per data point")
@@ -58,8 +61,8 @@ func main() {
 		return
 	}
 
-	if *exp == "oracle" {
-		os.Exit(runOracle(*seed, *rounds, *duration, *workers))
+	if *exp == "oracle" || *exp == "recovery" {
+		os.Exit(runOracle(*exp, *seed, *rounds, *duration, *workers))
 	}
 
 	cfg := bench.Config{
@@ -104,9 +107,11 @@ func main() {
 	}
 }
 
-// runOracle drives the correctness harness and returns the process exit
-// code: 0 when every check passed, 1 when a violation was found.
-func runOracle(seed int64, rounds int, duration time.Duration, workers int) int {
+// runOracle drives the correctness harness (mode "oracle" for the live
+// differential battery, "recovery" for the kill-and-recover variant) and
+// returns the process exit code: 0 when every check passed, 1 when a
+// violation was found.
+func runOracle(mode string, seed int64, rounds int, duration time.Duration, workers int) int {
 	if rounds == 0 && duration == 0 {
 		duration = 5 * time.Second
 	}
@@ -117,37 +122,43 @@ func runOracle(seed int64, rounds int, duration time.Duration, workers int) int 
 		Workers:  workers,
 		Log:      os.Stderr,
 	}
-	rep, err := oracle.Run(cfg)
+	run := oracle.Run
+	unit := "check batches"
+	if mode == "recovery" {
+		run = oracle.RunRecovery
+		unit = "kill/recover cycles"
+	}
+	rep, err := run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "grbench oracle: %v\n", err)
+		fmt.Fprintf(os.Stderr, "grbench %s: %v\n", mode, err)
 		return 2
 	}
-	fmt.Printf("oracle: %d rounds, %d statements, %d check batches in %s\n",
-		rep.Rounds, rep.Statements, rep.Batches, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%s: %d rounds, %d statements, %d %s in %s\n",
+		mode, rep.Rounds, rep.Statements, rep.Batches, unit, rep.Elapsed.Round(time.Millisecond))
 	if len(rep.Violations) == 0 {
-		fmt.Println("oracle: 0 violations")
+		fmt.Printf("%s: 0 violations\n", mode)
 		return 0
 	}
 	v := rep.Violations[0]
-	fmt.Printf("oracle: VIOLATION %s\n", v)
-	if err := writeRepro("ORACLE_repro.sql", v); err != nil {
-		fmt.Fprintf(os.Stderr, "grbench oracle: write repro: %v\n", err)
+	fmt.Printf("%s: VIOLATION %s\n", mode, v)
+	if err := writeRepro("ORACLE_repro.sql", mode, v); err != nil {
+		fmt.Fprintf(os.Stderr, "grbench %s: write repro: %v\n", mode, err)
 	} else {
-		fmt.Println("oracle: wrote ORACLE_repro.sql")
+		fmt.Printf("%s: wrote ORACLE_repro.sql\n", mode)
 	}
-	fmt.Printf("REPRO: go run ./cmd/grbench -experiment oracle -seed %d -rounds 1\n", v.Seed)
+	fmt.Printf("REPRO: go run ./cmd/grbench -experiment %s -seed %d -rounds 1\n", mode, v.Seed)
 	return 1
 }
 
 // writeRepro renders a violation as a self-contained SQL script: a comment
 // header with the diagnosis and repro command, the scenario setup, and the
 // minimized statement log (falling back to the full log).
-func writeRepro(path string, v *oracle.Violation) error {
+func writeRepro(path, mode string, v *oracle.Violation) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "-- oracle violation: %s\n", v.Check)
+	fmt.Fprintf(&b, "-- %s violation: %s\n", mode, v.Check)
 	fmt.Fprintf(&b, "-- detail: %s\n", v.Detail)
 	fmt.Fprintf(&b, "-- round seed: %d (batch %d)\n", v.Seed, v.Batch)
-	fmt.Fprintf(&b, "-- repro: go run ./cmd/grbench -experiment oracle -seed %d -rounds 1\n", v.Seed)
+	fmt.Fprintf(&b, "-- repro: go run ./cmd/grbench -experiment %s -seed %d -rounds 1\n", mode, v.Seed)
 	b.WriteString("\n-- setup\n")
 	for _, s := range v.SetupSQL {
 		b.WriteString(s)

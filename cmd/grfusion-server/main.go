@@ -9,13 +9,21 @@
 //	                [-query-timeout 0] [-max-concurrent 0] [-idle-timeout 0]
 //	                [-drain-timeout 10s] [-slow-query 0]
 //	                [-metrics-addr 127.0.0.1:21213]
+//	                [-wal dir] [-wal-fsync always|interval|off]
+//	                [-wal-fsync-interval 50ms] [-checkpoint-every N]
 //
 // -metrics-addr serves the observability endpoint over HTTP: /metrics is
 // the flat JSON form of SHOW METRICS, /debug/vars the expvar view.
 // -slow-query arms the engine's slow-query log at the given threshold.
 //
+// -wal makes the server durable: every mutating statement is logged to a
+// write-ahead log in the directory before it applies, checkpoints bound
+// recovery time, and startup recovers whatever a previous process
+// (crashed or not) left there.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish
-// and flush their responses, bounded by -drain-timeout.
+// and flush their responses, bounded by -drain-timeout; a durable server
+// then takes a final checkpoint, so the next start replays no WAL.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"grfusion/internal/core"
 	"grfusion/internal/server"
+	"grfusion/internal/wal"
 )
 
 func main() {
@@ -48,15 +57,42 @@ func main() {
 
 		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this (0 = disabled; SET SLOW_QUERY adjusts at runtime)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/vars (expvar) over HTTP on this address (empty = disabled)")
+
+		walDir     = flag.String("wal", "", "durable server: write-ahead log + checkpoints in this directory, recovering its contents on startup")
+		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or off (SET WAL_FSYNC adjusts at runtime)")
+		walFsyncIv = flag.Duration("wal-fsync-interval", 0, "background sync period under -wal-fsync interval (0 = 50ms default)")
+		walEvery   = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged statements (0 = default, negative = manual only; SET CHECKPOINT_EVERY adjusts at runtime)")
 	)
 	flag.Parse()
 
-	eng := core.New(core.Options{
+	opts := core.Options{
 		MemLimit:     *mem,
 		Workers:      *workers,
 		QueryTimeout: *queryTimeout,
 		SlowQuery:    *slowQuery,
-	})
+	}
+	if *walDir != "" {
+		if *restore != "" {
+			fatal(fmt.Errorf("-restore and -wal are mutually exclusive (a durable server recovers from its WAL directory)"))
+		}
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Durability = core.Durability{
+			Dir:             *walDir,
+			Fsync:           policy,
+			FsyncInterval:   *walFsyncIv,
+			CheckpointEvery: *walEvery,
+		}
+	}
+	eng, recovery, err := core.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if recovery != nil {
+		fmt.Fprintf(os.Stderr, "grfusion-server: durable in %s: %s\n", *walDir, recovery)
+	}
 	if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {
@@ -118,6 +154,14 @@ func main() {
 		fatal(err)
 	}
 	<-done
+	if eng.Durable() {
+		// All statements have drained; take the final checkpoint so the
+		// next start replays nothing.
+		if err := eng.Shutdown(); err != nil {
+			fatal(fmt.Errorf("shutdown checkpoint: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "grfusion-server: final checkpoint written")
+	}
 	fmt.Fprintln(os.Stderr, "grfusion-server: bye")
 }
 

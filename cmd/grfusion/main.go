@@ -2,16 +2,22 @@
 //
 // Statements end with ';'. Shell commands:
 //
-//	\q               quit
+//	\q               quit (a durable session checkpoints first)
 //	\explain <sql>   show the physical plan of a SELECT
-//	\save <file>     write a snapshot
+//	\save <file>     write a snapshot (temp file, fsync, atomic rename)
 //	\load <file>     restore a snapshot into the (empty) database
 //	\i <file>        execute a SQL script
+//	\checkpoint      force a durable checkpoint and truncate the WAL
 //
 // Usage:
 //
 //	grfusion [-restore snapshot.gob] [-script init.sql] [-mem bytes] [-timeout 5s]
+//	grfusion -wal /var/lib/grfusion [-wal-fsync always|interval|off] [-checkpoint-every N]
 //	grfusion -connect 127.0.0.1:21212      # talk to a grfusion-server
+//
+// With -wal the session is durable: every mutating statement is logged
+// before it applies, and on startup the database recovers whatever a
+// previous session (crashed or not) left in the directory.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"grfusion"
 	"grfusion/internal/server"
+	"grfusion/internal/wal"
 )
 
 // executor abstracts the local embedded engine and the remote client so
@@ -51,12 +58,21 @@ func main() {
 		mem     = flag.Int64("mem", 0, "intermediate-memory budget per statement (bytes)")
 		connect = flag.String("connect", "", "connect to a grfusion-server instead of running embedded")
 		timeout = flag.Duration("timeout", 0, "per-statement deadline (0 = none); sent as timeout_ms in remote mode")
+
+		walDir     = flag.String("wal", "", "durable session: write-ahead log + checkpoints in this directory, recovering its contents on startup")
+		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or off")
+		walEvery   = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged statements (0 = default, negative = manual only)")
+		walFsyncIv = flag.Duration("wal-fsync-interval", 0, "background sync period under -wal-fsync interval (0 = 50ms default)")
 	)
 	flag.Parse()
 
 	var db *grfusion.DB
 	var exec executor
 	if *connect != "" {
+		if *walDir != "" {
+			fmt.Fprintln(os.Stderr, "grfusion: -wal requires embedded mode")
+			os.Exit(1)
+		}
 		c, err := server.DialWith(*connect, server.Options{RequestTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grfusion: %v\n", err)
@@ -66,7 +82,23 @@ func main() {
 		exec = remoteExec{c: c}
 		fmt.Println("connected to", *connect)
 	} else {
-		db = grfusion.Open(grfusion.Config{MemLimit: *mem, QueryTimeout: *timeout})
+		cfg := grfusion.Config{MemLimit: *mem, QueryTimeout: *timeout}
+		if *walDir != "" {
+			cfg.WALDir = *walDir
+			cfg.WALFsync = *walFsync
+			cfg.WALFsyncInterval = *walFsyncIv
+			cfg.CheckpointEvery = *walEvery
+			var info *grfusion.RecoveryInfo
+			var err error
+			db, info, err = grfusion.OpenDurable(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grfusion: recovery: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("durable session in %s: %s\n", *walDir, info)
+		} else {
+			db = grfusion.Open(cfg)
+		}
 		exec = db
 	}
 	if *restore != "" && db == nil {
@@ -91,6 +123,12 @@ func main() {
 	}
 
 	runShell(db, exec, os.Stdin, os.Stdout)
+	if db != nil && db.Engine().Durable() {
+		if err := db.Shutdown(); err != nil {
+			fmt.Fprintf(os.Stderr, "grfusion: shutdown checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runShell drives the read-eval-print loop. It is split from main (and
@@ -151,14 +189,7 @@ func handleMeta(out io.Writer, db *grfusion.DB, cmd string) bool {
 			fmt.Fprintln(out, "usage: \\save <file>")
 			return false
 		}
-		f, err := os.Create(fields[1])
-		if err == nil {
-			err = db.Snapshot(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+		if err := saveSnapshot(db, fields[1]); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		} else {
 			fmt.Fprintln(out, "snapshot written to", fields[1])
@@ -181,10 +212,24 @@ func handleMeta(out io.Writer, db *grfusion.DB, cmd string) bool {
 		if err := runScript(db, fields[1]); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
+	case "\\checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintln(out, "checkpoint written, wal truncated")
+		}
 	default:
-		fmt.Fprintln(out, "unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i)")
+		fmt.Fprintln(out, "unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i, \\checkpoint)")
 	}
 	return false
+}
+
+// saveSnapshot writes a snapshot with the WAL's atomic-file protocol —
+// temp file, fsync, rename — so an interrupted \save can never tear an
+// existing snapshot: the destination holds either the old bytes or the
+// complete new ones.
+func saveSnapshot(db *grfusion.DB, path string) error {
+	return wal.WriteFileAtomic(path, db.Snapshot)
 }
 
 func restoreFile(db *grfusion.DB, path string) error {

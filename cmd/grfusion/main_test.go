@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -59,7 +60,7 @@ func TestScriptedSession(t *testing.T) {
 		" 1       ",
 		"(1 row(s), <t>)",
 		"grfusion> error: unknown table \"NoSuchTable\"",
-		"grfusion> unknown command \\nope (try \\q, \\explain, \\save, \\load, \\i)",
+		"grfusion> unknown command \\nope (try \\q, \\explain, \\save, \\load, \\i, \\checkpoint)",
 		"grfusion> ",
 	}, "\n")
 	if got != want {
@@ -104,5 +105,113 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(res.Rows) != 1 || res.Rows[0][0].String() != "1" {
 		t.Fatalf("restored view lost its topology: %+v", res.Rows)
+	}
+}
+
+// TestSaveAtomic pins the \save durability fix: the snapshot goes through
+// a temp file and an atomic rename, so a failing write can never tear an
+// existing snapshot, and no temp litter survives.
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "s.gob")
+	db := grfusion.Open(grfusion.Config{})
+	db.MustExec(`CREATE TABLE t (id BIGINT PRIMARY KEY)`)
+	db.MustExec(`INSERT INTO t VALUES (1)`)
+	if err := saveSnapshot(db, snap); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A save that cannot complete (directory vanished out from under the
+	// temp file) must fail without touching the existing snapshot...
+	gone := filepath.Join(dir, "nope", "s.gob")
+	if err := saveSnapshot(db, gone); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	if got, err := os.ReadFile(snap); err != nil || string(got) != string(old) {
+		t.Fatalf("existing snapshot disturbed: %v", err)
+	}
+	// ...and must not leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "s.gob" {
+			t.Fatalf("leftover file %s after failed save", e.Name())
+		}
+	}
+
+	// A successful overwrite replaces the bytes wholesale and still loads.
+	db.MustExec(`INSERT INTO t VALUES (2)`)
+	if err := saveSnapshot(db, snap); err != nil {
+		t.Fatal(err)
+	}
+	db2 := grfusion.Open(grfusion.Config{})
+	var out strings.Builder
+	handleMeta(&out, db2, `\load `+snap)
+	if !strings.Contains(out.String(), "snapshot restored") {
+		t.Fatalf("load failed: %s", out.String())
+	}
+	v, err := db2.QueryScalar(`SELECT COUNT(*) FROM t`)
+	if err != nil || v.String() != "2" {
+		t.Fatalf("reloaded snapshot: %v %v", v, err)
+	}
+}
+
+// TestDurableShellSession runs a shell against a WAL directory, drops it
+// without a checkpoint, and checks a second session recovers the data and
+// that \checkpoint truncates the log.
+func TestDurableShellSession(t *testing.T) {
+	dir := t.TempDir()
+	cfg := grfusion.Config{WALDir: dir}
+	db, info, err := grfusion.OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || info.CheckpointLoaded || info.Replayed != 0 {
+		t.Fatalf("fresh durable session: %+v", info)
+	}
+	session := strings.Join([]string{
+		`CREATE TABLE t (id BIGINT PRIMARY KEY, s VARCHAR);`,
+		`INSERT INTO t VALUES (1, 'one'), (2, 'two');`,
+		`\q`,
+	}, "\n") + "\n"
+	var out strings.Builder
+	runShell(db, db, strings.NewReader(session), &out)
+	db.Engine().Kill() // crash: no shutdown checkpoint
+
+	db2, info2, err := grfusion.OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Replayed == 0 {
+		t.Fatalf("nothing replayed: %+v", info2)
+	}
+	v, err := db2.QueryScalar(`SELECT COUNT(*) FROM t`)
+	if err != nil || v.String() != "2" {
+		t.Fatalf("recovered rows: %v %v", v, err)
+	}
+	out.Reset()
+	if handleMeta(&out, db2, `\checkpoint`) {
+		t.Fatal("\\checkpoint asked to quit")
+	}
+	if !strings.Contains(out.String(), "checkpoint written") {
+		t.Fatalf("checkpoint failed: %s", out.String())
+	}
+	if err := db2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, info3, err := grfusion.OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if !info3.CheckpointLoaded || info3.Replayed != 0 {
+		t.Fatalf("post-checkpoint recovery should replay nothing: %+v", info3)
 	}
 }

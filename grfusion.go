@@ -34,6 +34,7 @@ import (
 	"grfusion/internal/core"
 	"grfusion/internal/plan"
 	"grfusion/internal/types"
+	"grfusion/internal/wal"
 )
 
 // Value is one SQL value in a result row.
@@ -79,7 +80,29 @@ type Config struct {
 	// exceed it abort with ErrTimeout. Zero disables it. Adjustable at
 	// runtime with SET QUERY_TIMEOUT = <milliseconds>.
 	QueryTimeout time.Duration
+
+	// WALDir enables durability: mutating statements are logged to a
+	// write-ahead log in this directory before they apply, and periodic
+	// checkpoints bound recovery time. A database opened on a non-empty
+	// WALDir recovers its state from the latest checkpoint plus the WAL
+	// tail. Requires OpenDurable; Open rejects a Config with WALDir set.
+	WALDir string
+	// WALFsync selects the log's fsync policy: "always" (default — every
+	// logged statement is synced before it applies), "interval"
+	// (background sync every WALFsyncInterval), or "off" (the OS decides).
+	// Adjustable at runtime with SET WAL_FSYNC = <policy>.
+	WALFsync string
+	// WALFsyncInterval is the background sync period under the "interval"
+	// policy (default 50ms).
+	WALFsyncInterval time.Duration
+	// CheckpointEvery takes an automatic checkpoint after this many logged
+	// statements (0 = engine default, negative = only explicit
+	// checkpoints). Adjustable with SET CHECKPOINT_EVERY = <n>.
+	CheckpointEvery int
 }
+
+// RecoveryInfo describes what OpenDurable recovered from disk.
+type RecoveryInfo = core.RecoveryInfo
 
 // Typed lifecycle errors, matchable with errors.Is on any statement error.
 var (
@@ -96,12 +119,12 @@ var (
 // DB is one in-memory database instance. It is safe for concurrent use;
 // statements execute serially (the VoltDB execution model).
 type DB struct {
-	engine *core.Engine
+	engine   *core.Engine
+	recovery *RecoveryInfo
 }
 
-// Open creates a new, empty database.
-func Open(cfg Config) *DB {
-	db := &DB{engine: core.New(core.Options{
+func options(cfg Config) (core.Options, error) {
+	opts := core.Options{
 		MemLimit:     cfg.MemLimit,
 		QueryTimeout: cfg.QueryTimeout,
 		Plan: plan.Options{
@@ -109,16 +132,80 @@ func Open(cfg Config) *DB {
 			DisableLengthInference: cfg.DisableLengthInference,
 			ForceTraversal:         cfg.ForceTraversal,
 		},
-	})}
+	}
+	opts.Durability.Dir = cfg.WALDir
+	opts.Durability.FsyncInterval = cfg.WALFsyncInterval
+	opts.Durability.CheckpointEvery = cfg.CheckpointEvery
+	if cfg.WALFsync != "" {
+		p, err := wal.ParseFsyncPolicy(cfg.WALFsync)
+		if err != nil {
+			return opts, err
+		}
+		opts.Durability.Fsync = p
+	}
+	return opts, nil
+}
+
+// Open creates a new, empty, purely in-memory database. For a durable
+// database (Config.WALDir set) use OpenDurable, which can fail and
+// reports what it recovered; Open panics on a durable Config so the two
+// modes cannot be mixed up silently.
+func Open(cfg Config) *DB {
+	if cfg.WALDir != "" {
+		panic("grfusion: Config.WALDir is set — use OpenDurable for a durable database")
+	}
+	opts, err := options(cfg)
+	if err != nil {
+		panic("grfusion: " + err.Error())
+	}
+	db := &DB{engine: core.New(opts)}
 	if cfg.StatsInterval > 0 {
 		db.engine.StartStatistics(cfg.StatsInterval)
 	}
 	return db
 }
 
-// Close stops background work (the statistics refresher). The database
-// remains usable afterwards; Close is only required when StatsInterval
-// was set.
+// OpenDurable opens a database backed by a write-ahead log in
+// cfg.WALDir, recovering any state a previous process left there: it
+// loads the latest checkpoint, replays the WAL tail (truncating a torn
+// final record), and rebuilds graph views from the recovered relations.
+// The returned RecoveryInfo says what was recovered; it is nil when
+// cfg.WALDir is empty (a plain in-memory database).
+//
+// Stop a durable database with Shutdown (final checkpoint) or Close
+// (WAL synced and closed; recovery replays the tail on next open).
+func OpenDurable(cfg Config) (*DB, *RecoveryInfo, error) {
+	opts, err := options(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, info, err := core.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &DB{engine: eng, recovery: info}
+	if cfg.StatsInterval > 0 {
+		db.engine.StartStatistics(cfg.StatsInterval)
+	}
+	return db, info, nil
+}
+
+// Recovery returns what OpenDurable recovered, nil for an in-memory
+// database.
+func (db *DB) Recovery() *RecoveryInfo { return db.recovery }
+
+// Checkpoint writes a durable snapshot (temp file, fsync, atomic rename)
+// and truncates the WAL. It fails on a non-durable database.
+func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Shutdown gracefully stops a durable database: final checkpoint, WAL
+// close. On an in-memory database it is Close.
+func (db *DB) Shutdown() error { return db.engine.Shutdown() }
+
+// Close stops background work (the statistics refresher) and, on a
+// durable database, syncs and closes the WAL without a final checkpoint.
+// An in-memory database remains usable afterwards; a durable one keeps
+// serving reads but rejects further mutations.
 func (db *DB) Close() { db.engine.Close() }
 
 // Result holds the outcome of one statement.

@@ -148,3 +148,32 @@ func TestLoadGRFusionView(t *testing.T) {
 		t.Errorf("topology: %d/%d", gv.G.NumVertices(), gv.G.NumEdges())
 	}
 }
+
+func TestDurabilityBenchShape(t *testing.T) {
+	rows := DurabilityBench(Config{Scale: 0.02, Queries: 1, Seed: 7})
+	sys := bySystem(rows)
+	for _, want := range []string{"no-wal", "fsync=off", "fsync=interval", "fsync=always"} {
+		if len(sys[want]) == 0 {
+			t.Fatalf("no rows for system %q", want)
+		}
+	}
+	metrics := map[string]bool{}
+	for _, r := range sys["fsync=always"] {
+		metrics[r.Metric] = true
+		if r.Note != "" && !strings.Contains(r.Note, "records") {
+			t.Errorf("%s/%s aborted: %s", r.System, r.Metric, r.Note)
+		}
+	}
+	for _, m := range []string{"ms_per_insert", "wal_overhead_ms", "wal_bytes_per_insert",
+		"replay_ms", "replay_stmts_per_ms", "checkpoint_ms"} {
+		if !metrics[m] {
+			t.Errorf("fsync=always missing metric %s", m)
+		}
+	}
+	// Every durable policy pays for real frames on disk.
+	for _, r := range rows {
+		if r.Metric == "wal_bytes_per_insert" && r.Value <= 0 {
+			t.Errorf("%s logged no bytes per insert", r.System)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/types"
+	"grfusion/internal/wal"
+)
+
+// DurabilityBench measures what the write-ahead log costs on the write
+// path and what recovery buys back. One engine per fsync policy (plus a
+// no-WAL baseline) runs the same prepared-DML insert workload against a
+// table with a dependent graph view, so every measured statement pays both
+// §3.3 incremental maintenance and its durability tax:
+//
+//   - ms_per_insert: prepared edge-insert latency per policy;
+//   - wal_overhead_ms: the per-insert delta over the no-WAL baseline —
+//     the append (and, per policy, fsync) cost in isolation;
+//   - wal_bytes_per_insert: on-disk log growth per statement;
+//   - replay_ms / replay_stmts_per_ms: crash the engine (fd dropped, no
+//     checkpoint) and time full WAL replay including graph-view rebuild;
+//   - checkpoint_ms: snapshot + atomic rename + log rotation.
+func DurabilityBench(cfg Config) []Row {
+	cfg = cfg.Defaults()
+	nVerts := scaled(500, cfg.Scale)
+	nEdges := scaled(2000, cfg.Scale)
+	var rows []Row
+
+	modes := []struct {
+		system  string
+		fsync   wal.FsyncPolicy
+		durable bool
+	}{
+		{"no-wal", wal.FsyncOff, false},
+		{"fsync=off", wal.FsyncOff, true},
+		{"fsync=interval", wal.FsyncInterval, true},
+		{"fsync=always", wal.FsyncAlways, true},
+	}
+	param := fmt.Sprintf("edges=%d", nEdges)
+	var baseMS float64
+
+	for _, m := range modes {
+		var dir string
+		var eng *core.Engine
+		if m.durable {
+			var err error
+			dir, err = os.MkdirTemp("", "grfusion-bench-dur-")
+			if err != nil {
+				panic(err)
+			}
+			var opts core.Options
+			opts.Durability = core.Durability{Dir: dir, Fsync: m.fsync}
+			eng, _, err = core.Open(opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				panic(err)
+			}
+		} else {
+			eng = core.New(core.Options{})
+		}
+
+		setup := `
+			CREATE TABLE people (id BIGINT, name VARCHAR, PRIMARY KEY (id));
+			CREATE TABLE knows (id BIGINT, src BIGINT, dst BIGINT, w BIGINT, PRIMARY KEY (id));
+			CREATE GRAPH VIEW net
+			  VERTEXES (ID = id, name = name) FROM people
+			  EDGES (ID = id, FROM = src, TO = dst, w = w) FROM knows;
+		`
+		if _, err := eng.ExecuteScript(setup); err != nil {
+			panic(err)
+		}
+		insV, err := eng.PrepareDML("INSERT INTO people VALUES (?, ?)")
+		if err != nil {
+			panic(err)
+		}
+		for i := 1; i <= nVerts; i++ {
+			if _, err := insV.Exec(types.NewInt(int64(i)), types.NewString(fmt.Sprintf("p%d", i))); err != nil {
+				panic(err)
+			}
+		}
+		insE, err := eng.PrepareDML("INSERT INTO knows VALUES (?, ?, ?, ?)")
+		if err != nil {
+			panic(err)
+		}
+
+		walSize := func() int64 {
+			if !m.durable {
+				return 0
+			}
+			fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+			if err != nil {
+				return 0
+			}
+			return fi.Size()
+		}
+		before := walSize()
+		ms, note := timeAvgMS(nEdges, func(i int) error {
+			src := int64(i%nVerts + 1)
+			dst := int64((i*7+3)%nVerts + 1)
+			_, err := insE.Exec(types.NewInt(int64(nVerts+i+1)), types.NewInt(src),
+				types.NewInt(dst), types.NewInt(int64(i%100)))
+			return err
+		})
+		rows = append(rows, Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+			Param: param, Metric: "ms_per_insert", Value: ms, Note: note})
+		if !m.durable {
+			baseMS = ms
+			continue
+		}
+		rows = append(rows,
+			Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+				Param: param, Metric: "wal_overhead_ms", Value: ms - baseMS},
+			Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+				Param: param, Metric: "wal_bytes_per_insert",
+				Value: float64(walSize()-before) / float64(nEdges)})
+
+		// Crash (no sync, no checkpoint) and time a full recovery: header
+		// scan, statement replay with allocation pins, §3.3 graph rebuild.
+		eng.Kill()
+		start := time.Now()
+		var opts core.Options
+		opts.Durability = core.Durability{Dir: dir, Fsync: m.fsync}
+		eng, info, err := core.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		replayMS := float64(time.Since(start).Microseconds()) / 1000
+		rows = append(rows,
+			Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+				Param: param, Metric: "replay_ms", Value: replayMS,
+				Note: fmt.Sprintf("%d records", info.Replayed)},
+			Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+				Param: param, Metric: "replay_stmts_per_ms", Value: float64(info.Replayed) / replayMS})
+
+		start = time.Now()
+		if err := eng.Checkpoint(); err != nil {
+			panic(err)
+		}
+		rows = append(rows, Row{Experiment: "durability", Dataset: "synthetic", System: m.system,
+			Param: param, Metric: "checkpoint_ms",
+			Value: float64(time.Since(start).Microseconds()) / 1000})
+
+		eng.Close()
+		os.RemoveAll(dir)
+	}
+	return rows
+}

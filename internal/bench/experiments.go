@@ -630,6 +630,7 @@ func All(cfg Config) []Row {
 	rows = append(rows, Observability(cfg)...)
 	rows = append(rows, CSRBench(cfg)...)
 	rows = append(rows, AnalyticsBench(cfg)...)
+	rows = append(rows, DurabilityBench(cfg)...)
 	return rows
 }
 
@@ -647,4 +648,5 @@ var Experiments = map[string]func(Config) []Row{
 	"observability": Observability,
 	"csr":           CSRBench,
 	"analytics":     AnalyticsBench,
+	"durability":    DurabilityBench,
 }

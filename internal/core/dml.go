@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"grfusion/internal/catalog"
 	"grfusion/internal/expr"
@@ -33,6 +34,9 @@ type undoOp struct {
 	id     storage.RowID
 	oldRow types.Row
 	newRow types.Row
+	// extended marks an undoInsert whose insert grew the row array; its
+	// reversal must shrink it back (storage.Table.UndoInsert).
+	extended bool
 
 	// Materialized-view map entries (undoMapSet/undoMapDel).
 	mv     *catalog.MatView
@@ -50,6 +54,12 @@ func (tx *txn) views(table *storage.Table) []*catalog.GraphView {
 
 // insertRow inserts and maintains dependent graph views atomically.
 func (tx *txn) insertRow(t *storage.Table, row types.Row) (storage.RowID, error) {
+	// extended records whether this insert will grow the row array rather
+	// than reuse a hole; undoing the two cases differs (UndoInsert), and an
+	// aborted statement must leave the allocator exactly as it found it —
+	// WAL replay pins the allocator state and only sees applied statements.
+	_, freeDepth := t.AllocState()
+	extended := freeDepth == 0
 	id, err := t.Insert(row)
 	if err != nil {
 		return storage.InvalidRowID, err
@@ -61,11 +71,11 @@ func (tx *txn) insertRow(t *storage.Table, row types.Row) (storage.RowID, error)
 			for j := i - 1; j >= 0; j-- {
 				_ = views[j].OnDelete(t.Name(), stored)
 			}
-			_ = t.Delete(id)
+			_ = t.UndoInsert(id, extended)
 			return storage.InvalidRowID, err
 		}
 	}
-	tx.journal = append(tx.journal, undoOp{kind: undoInsert, table: t, id: id, newRow: stored})
+	tx.journal = append(tx.journal, undoOp{kind: undoInsert, table: t, id: id, newRow: stored, extended: extended})
 	if err := tx.maintainMatViewsInsert(t, id, stored); err != nil {
 		return storage.InvalidRowID, err
 	}
@@ -90,7 +100,15 @@ func (tx *txn) deleteRow(t *storage.Table, id storage.RowID) error {
 		if row[vidPos].Kind != types.KindInt {
 			continue
 		}
-		for _, ref := range gv.IncidentEdges(row[vidPos].I) {
+		// Cascade in tuple-pointer order, not adjacency-list order: adjacency
+		// order depends on construction history (incremental maintenance vs a
+		// post-recovery rebuild), while deletion order decides the free-list
+		// push order and hence which slots later inserts reuse. WAL replay is
+		// only deterministic if a statement's relational effects are a pure
+		// function of relational state, so the cascade order must be too.
+		refs := gv.IncidentEdges(row[vidPos].I)
+		sort.Slice(refs, func(i, j int) bool { return refs[i].Tuple < refs[j].Tuple })
+		for _, ref := range refs {
 			if err := tx.deleteRow(gv.EdgeTable(), ref.Tuple); err != nil {
 				return err
 			}
@@ -148,7 +166,7 @@ func (tx *txn) rollback() error {
 			for _, gv := range tx.views(op.table) {
 				_ = gv.OnDelete(op.table.Name(), op.newRow)
 			}
-			if err := op.table.Delete(op.id); err != nil {
+			if err := op.table.UndoInsert(op.id, op.extended); err != nil {
 				return fmt.Errorf("rollback: %v", err)
 			}
 		case undoDelete:

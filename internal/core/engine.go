@@ -32,6 +32,7 @@ import (
 	"grfusion/internal/sql"
 	"grfusion/internal/storage"
 	"grfusion/internal/types"
+	"grfusion/internal/wal"
 )
 
 // Typed lifecycle errors. ErrTimeout/ErrCanceled/ErrMemLimit re-export the
@@ -89,6 +90,10 @@ type Options struct {
 	SlowQuery time.Duration
 	// Planner options (pushdown/inference toggles for ablations).
 	Plan plan.Options
+	// Durability configures the write-ahead log and checkpoints
+	// (durability.go). It only takes effect through Open, which recovers
+	// existing state before attaching the log; New ignores it.
+	Durability Durability
 }
 
 // Engine is one in-memory database instance.
@@ -118,6 +123,11 @@ type Engine struct {
 	statsMu   sync.Mutex
 	statsStop chan struct{}
 	statsDone chan struct{}
+
+	// dur is the durability runtime (durability.go): non-nil dur.log means
+	// every mutating statement is logged before it applies. Guarded by mu's
+	// write side, like the catalog.
+	dur durState
 }
 
 // New creates an empty engine.
@@ -186,18 +196,20 @@ func (e *Engine) ExecuteScript(script string) ([]*Result, error) {
 }
 
 // ExecuteScriptContext is ExecuteScript under a cancellation context; the
-// script stops between statements once the context fires.
+// script stops between statements once the context fires. Each statement
+// carries its own source text, so a durable engine logs script statements
+// individually.
 func (e *Engine) ExecuteScriptContext(ctx context.Context, script string) ([]*Result, error) {
-	stmts, err := sql.ParseAll(script)
+	stmts, texts, err := sql.ParseAllWithText(script)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(stmts))
-	for _, s := range stmts {
+	for i, s := range stmts {
 		if err := ctxErr(ctx); err != nil {
 			return out, err
 		}
-		r, err := e.ExecuteStmtContext(ctx, s)
+		r, err := e.execStmt(ctx, s, texts[i])
 		if err != nil {
 			return out, err
 		}
@@ -286,6 +298,29 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, text string) 
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	// Log before apply: on a durable engine the statement is in the WAL
+	// (synced per policy) before any state changes. If logging fails the
+	// statement aborts untouched; if applying fails the record is rolled
+	// back so the log mirrors applied history exactly (finishWALLocked).
+	var walLSN uint64
+	if e.dur.log != nil {
+		if _, isSet := stmt.(*sql.Set); !isSet {
+			rec, rerr := e.walRecordLocked(stmt, text, nil)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if walLSN, rerr = e.walAppendLocked(rec); rerr != nil {
+				return nil, rerr
+			}
+		}
+	}
+	res, err = e.applyLocked(stmt)
+	e.finishWALLocked(walLSN, err)
+	return res, err
+}
+
+// applyLocked dispatches a mutating statement under the write lock.
+func (e *Engine) applyLocked(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return e.createTable(s)
@@ -395,11 +430,18 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, *exec.I
 	return &Result{Columns: cols, Rows: rows}, prof, nil
 }
 
-// runSet applies a SET <name> = <int> tunable. QUERY_TIMEOUT sets the
-// per-statement deadline in milliseconds (0 disables it); SLOW_QUERY sets
-// the slow-query-log threshold in milliseconds (0 disables the log). New
-// values apply to statements issued after this one.
+// runSet applies a SET tunable. QUERY_TIMEOUT sets the per-statement
+// deadline in milliseconds (0 disables it); SLOW_QUERY sets the
+// slow-query-log threshold in milliseconds (0 disables the log);
+// WAL_FSYNC switches a durable engine's sync policy
+// (ALWAYS/INTERVAL/OFF); CHECKPOINT_EVERY sets the automatic checkpoint
+// threshold in logged statements (0 disables automatic checkpoints). New
+// values apply to statements issued after this one. SET is a runtime
+// tunable, not state: it is never logged to the WAL.
 func (e *Engine) runSet(s *sql.Set) (*Result, error) {
+	if s.IsStr && s.Name != "WAL_FSYNC" {
+		return nil, fmt.Errorf("SET %s: expected an integer value, got %q", s.Name, s.Str)
+	}
 	switch s.Name {
 	case "QUERY_TIMEOUT":
 		if s.Value < 0 {
@@ -413,8 +455,32 @@ func (e *Engine) runSet(s *sql.Set) (*Result, error) {
 		}
 		e.SetSlowQuery(time.Duration(s.Value) * time.Millisecond)
 		return &Result{}, nil
+	case "WAL_FSYNC":
+		if !s.IsStr {
+			return nil, fmt.Errorf("SET WAL_FSYNC: expected ALWAYS, INTERVAL or OFF")
+		}
+		p, err := wal.ParseFsyncPolicy(s.Str)
+		if err != nil {
+			return nil, fmt.Errorf("SET WAL_FSYNC: %v", err)
+		}
+		if e.dur.log == nil {
+			return nil, fmt.Errorf("SET WAL_FSYNC: engine is not durable (no WAL directory configured)")
+		}
+		if err := e.dur.log.SetPolicy(p); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case "CHECKPOINT_EVERY":
+		if s.Value < 0 {
+			return nil, fmt.Errorf("SET CHECKPOINT_EVERY: value must be >= 0 statements, got %d", s.Value)
+		}
+		if e.dur.log == nil {
+			return nil, fmt.Errorf("SET CHECKPOINT_EVERY: engine is not durable (no WAL directory configured)")
+		}
+		e.dur.every = int(s.Value)
+		return &Result{}, nil
 	default:
-		return nil, fmt.Errorf("SET: unknown setting %q (supported: QUERY_TIMEOUT, SLOW_QUERY)", s.Name)
+		return nil, fmt.Errorf("SET: unknown setting %q (supported: QUERY_TIMEOUT, SLOW_QUERY, WAL_FSYNC, CHECKPOINT_EVERY)", s.Name)
 	}
 }
 

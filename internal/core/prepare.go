@@ -62,6 +62,7 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 type PreparedDML struct {
 	e       *Engine
 	stmt    sql.Statement
+	text    string // the original SQL, logged with bound params on a durable engine
 	nparams int
 }
 
@@ -90,28 +91,45 @@ func (e *Engine) PrepareDML(query string) (*PreparedDML, error) {
 	default:
 		return nil, fmt.Errorf("PrepareDML supports INSERT/UPDATE/DELETE, got %T", stmt)
 	}
-	return &PreparedDML{e: e, stmt: stmt, nparams: n}, nil
+	return &PreparedDML{e: e, stmt: stmt, text: query, nparams: n}, nil
 }
 
 // NumParams returns the number of `?` placeholders.
 func (p *PreparedDML) NumParams() int { return p.nparams }
 
-// Exec runs the prepared DML with the given parameter values.
+// Exec runs the prepared DML with the given parameter values. On a
+// durable engine the statement template and its bound parameters are
+// logged before applying, like any other mutation.
 func (p *PreparedDML) Exec(params ...types.Value) (*Result, error) {
 	if len(params) != p.nparams {
 		return nil, fmt.Errorf("prepared statement expects %d parameter(s), got %d",
 			p.nparams, len(params))
 	}
-	p.e.mu.Lock()
-	defer p.e.mu.Unlock()
+	e := p.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var walLSN uint64
+	if e.dur.log != nil {
+		rec, err := e.walRecordLocked(p.stmt, p.text, params)
+		if err != nil {
+			return nil, err
+		}
+		if walLSN, err = e.walAppendLocked(rec); err != nil {
+			return nil, err
+		}
+	}
+	var res *Result
+	var err error
 	switch s := p.stmt.(type) {
 	case *sql.Insert:
-		return p.e.runInsertParams(s, types.Row(params))
+		res, err = e.runInsertParams(s, types.Row(params))
 	case *sql.Update:
-		return p.e.runUpdateParams(s, types.Row(params))
+		res, err = e.runUpdateParams(s, types.Row(params))
 	default:
-		return p.e.runDeleteParams(p.stmt.(*sql.Delete), types.Row(params))
+		res, err = e.runDeleteParams(p.stmt.(*sql.Delete), types.Row(params))
 	}
+	e.finishWALLocked(walLSN, err)
+	return res, err
 }
 
 func maxParams(cur int, e expr.Expr) int {

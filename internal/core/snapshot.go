@@ -36,6 +36,12 @@ type snapTable struct {
 	PK      []int
 	Rows    [][]snapValue
 	Indexes []storage.IndexInfo
+	// IDs[i] is the slot (RowID) of Rows[i], and Free is the LIFO free
+	// list, so restore reproduces the exact slot image: RowIDs are the
+	// tuple pointers graph views hold, and WAL replay pins the allocator
+	// state, so a checkpoint must not compact or reorder slots (v2).
+	IDs  []uint64
+	Free []uint64
 }
 
 type snapAttr struct {
@@ -60,9 +66,18 @@ type snapDB struct {
 	// rebuild their contents from the restored bases.
 	MatViews []string
 	Views    []snapView
+	// LSN is the WAL position this snapshot covers: recovery skips log
+	// records at or below it. Zero for plain (non-checkpoint) snapshots.
+	// gob ignores unknown fields, so snapshots written before this field
+	// existed decode with LSN 0.
+	LSN uint64
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 added slot-exact table images (snapTable.IDs/Free).
+// Version-1 snapshots (dense rows, no slot info) still restore, with
+// freshly compacted slots — fine for \save/\load archives, but checkpoints
+// are always written as v2 so recovery preserves tuple pointers.
+const snapshotVersion = 2
 
 // Snapshot writes a consistent image of the database to w. It is a pure
 // read: it holds the shared lock, so queries keep running while the image
@@ -70,7 +85,18 @@ const snapshotVersion = 1
 func (e *Engine) Snapshot(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	db := snapDB{Version: snapshotVersion}
+	var lsn uint64
+	if e.dur.log != nil {
+		lsn = e.dur.log.LastLSN()
+	}
+	return e.encodeSnapshotLocked(w, lsn)
+}
+
+// encodeSnapshotLocked serializes the database under either lock side.
+// lsn is embedded so checkpoint recovery knows which WAL records the
+// image already contains.
+func (e *Engine) encodeSnapshotLocked(w io.Writer, lsn uint64) error {
+	db := snapDB{Version: snapshotVersion, LSN: lsn}
 	for _, name := range e.cat.Tables() {
 		if e.cat.IsMatViewTable(name) {
 			continue // derived state: rebuilt by re-running the definition
@@ -86,8 +112,12 @@ func (e *Engine) Snapshot(w io.Writer) error {
 				sr[i] = snapValue{Kind: uint8(v.Kind), B: v.B, I: v.I, F: v.F, S: v.S}
 			}
 			st.Rows = append(st.Rows, sr)
+			st.IDs = append(st.IDs, uint64(id))
 			return true
 		})
+		for _, id := range t.FreeList() {
+			st.Free = append(st.Free, uint64(id))
+		}
 		db.Tables = append(db.Tables, st)
 	}
 	for _, name := range e.cat.MatViews() {
@@ -114,15 +144,22 @@ func (e *Engine) Snapshot(w io.Writer) error {
 func (e *Engine) Restore(r io.Reader) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	_, err := e.restoreLocked(r)
+	return err
+}
+
+// restoreLocked loads a snapshot under the write lock, returning the WAL
+// position it covers (recovery replays only records past it).
+func (e *Engine) restoreLocked(r io.Reader) (uint64, error) {
 	if len(e.cat.Tables()) > 0 || len(e.cat.GraphViews()) > 0 {
-		return fmt.Errorf("restore requires an empty engine")
+		return 0, fmt.Errorf("restore requires an empty engine")
 	}
 	var db snapDB
 	if err := gob.NewDecoder(r).Decode(&db); err != nil {
-		return fmt.Errorf("decode snapshot: %v", err)
+		return 0, fmt.Errorf("decode snapshot: %v", err)
 	}
-	if db.Version != snapshotVersion {
-		return fmt.Errorf("unsupported snapshot version %d", db.Version)
+	if db.Version < 1 || db.Version > snapshotVersion {
+		return 0, fmt.Errorf("unsupported snapshot version %d", db.Version)
 	}
 	for _, st := range db.Tables {
 		cols := make([]types.Column, len(st.Cols))
@@ -131,24 +168,18 @@ func (e *Engine) Restore(r io.Reader) error {
 		}
 		t, err := storage.NewTable(st.Name, types.NewSchema(cols...), st.PK)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		for _, sr := range st.Rows {
-			row := make(types.Row, len(sr))
-			for i, v := range sr {
-				row[i] = types.Value{Kind: types.Kind(v.Kind), B: v.B, I: v.I, F: v.F, S: v.S}
-			}
-			if _, err := t.Insert(row); err != nil {
-				return fmt.Errorf("restore table %s: %v", st.Name, err)
-			}
+		if err := restoreRows(t, &st, db.Version); err != nil {
+			return 0, err
 		}
 		for _, ix := range st.Indexes {
 			if _, err := t.CreateIndex(ix.Name, ix.Cols, ix.Ordered); err != nil {
-				return fmt.Errorf("restore index %s: %v", ix.Name, err)
+				return 0, fmt.Errorf("restore index %s: %v", ix.Name, err)
 			}
 		}
 		if err := e.cat.CreateTable(t); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	// Materialized views may depend on each other; retry until a full pass
@@ -159,7 +190,7 @@ func (e *Engine) Restore(r io.Reader) error {
 		for _, def := range pending {
 			stmt, err := sql.Parse(def)
 			if err != nil {
-				return fmt.Errorf("restore materialized view: %v", err)
+				return 0, fmt.Errorf("restore materialized view: %v", err)
 			}
 			if _, err := e.createMatView(stmt.(*sql.CreateMatView)); err != nil {
 				next = append(next, def)
@@ -168,18 +199,18 @@ func (e *Engine) Restore(r io.Reader) error {
 		if len(next) == len(pending) {
 			stmt, _ := sql.Parse(next[0])
 			_, err := e.createMatView(stmt.(*sql.CreateMatView))
-			return fmt.Errorf("restore materialized view: %v", err)
+			return 0, fmt.Errorf("restore materialized view: %v", err)
 		}
 		pending = next
 	}
 	for _, sv := range db.Views {
 		vtab, ok := e.cat.Table(sv.VertexSource)
 		if !ok {
-			return fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.VertexSource)
+			return 0, fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.VertexSource)
 		}
 		etab, ok := e.cat.Table(sv.EdgeSource)
 		if !ok {
-			return fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.EdgeSource)
+			return 0, fmt.Errorf("restore view %s: missing source %s", sv.Name, sv.EdgeSource)
 		}
 		toAttrs := func(as []snapAttr) []catalog.AttrMap {
 			out := make([]catalog.AttrMap, len(as))
@@ -191,11 +222,52 @@ func (e *Engine) Restore(r io.Reader) error {
 		gv, err := catalog.NewGraphView(sv.Name, sv.Directed, vtab, etab,
 			toAttrs(sv.VertexAttrs), toAttrs(sv.EdgeAttrs))
 		if err != nil {
-			return fmt.Errorf("restore view %s: %v", sv.Name, err)
+			return 0, fmt.Errorf("restore view %s: %v", sv.Name, err)
 		}
 		if err := e.cat.RegisterGraphView(gv); err != nil {
-			return err
+			return 0, err
 		}
+	}
+	return db.LSN, nil
+}
+
+// restoreRows loads one table's rows. Version-2 snapshots carry the exact
+// slot image (per-row RowIDs plus the free list) and must reproduce it;
+// version-1 snapshots predate slot info and are restored densely.
+func restoreRows(t *storage.Table, st *snapTable, version int) error {
+	decode := func(sr []snapValue) types.Row {
+		row := make(types.Row, len(sr))
+		for i, v := range sr {
+			row[i] = types.Value{Kind: types.Kind(v.Kind), B: v.B, I: v.I, F: v.F, S: v.S}
+		}
+		return row
+	}
+	if version < 2 {
+		for _, sr := range st.Rows {
+			if _, err := t.Insert(decode(sr)); err != nil {
+				return fmt.Errorf("restore table %s: %v", st.Name, err)
+			}
+		}
+		return nil
+	}
+	if len(st.IDs) != len(st.Rows) {
+		return fmt.Errorf("restore table %s: %d slot ids for %d rows", st.Name, len(st.IDs), len(st.Rows))
+	}
+	size := len(st.Rows) + len(st.Free)
+	image := make([]types.Row, size)
+	for i, sr := range st.Rows {
+		id := st.IDs[i]
+		if id < 1 || id > uint64(size) || image[id-1] != nil {
+			return fmt.Errorf("restore table %s: bad slot %d for row %d", st.Name, id, i)
+		}
+		image[id-1] = decode(sr)
+	}
+	free := make([]storage.RowID, len(st.Free))
+	for i, id := range st.Free {
+		free[i] = storage.RowID(id)
+	}
+	if err := t.RestoreSlots(image, free); err != nil {
+		return fmt.Errorf("restore table %s: %v", st.Name, err)
 	}
 	return nil
 }

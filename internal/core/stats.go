@@ -1,6 +1,7 @@
 package core
 
 import (
+	"log"
 	"time"
 )
 
@@ -74,12 +75,23 @@ func (e *Engine) StartStatistics(interval time.Duration) {
 	}()
 }
 
-// Close stops background work (the statistics thread). The engine remains
-// usable for statements afterwards.
+// Close stops background work (the statistics thread) and, on a durable
+// engine, syncs and closes the WAL without a final checkpoint (use
+// Shutdown for checkpoint-on-exit). A non-durable engine remains usable
+// for statements afterwards; a durable one keeps serving reads but
+// rejects further mutations.
 func (e *Engine) Close() {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
 	e.stopStatsLocked()
+	e.statsMu.Unlock()
+	e.mu.Lock()
+	lg := e.dur.log
+	e.mu.Unlock()
+	if lg != nil {
+		if err := lg.Close(); err != nil {
+			log.Printf("core: close wal: %v", err)
+		}
+	}
 }
 
 func (e *Engine) stopStatsLocked() {

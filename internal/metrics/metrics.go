@@ -170,6 +170,15 @@ type Metrics struct {
 	// (BFS levels for components).
 	AnalyticsRuns  Counter
 	AnalyticsIters Counter
+
+	// Durability counters: WAL records appended and their total frame
+	// bytes, fsyncs issued by the log, checkpoints taken, and recoveries
+	// performed (crash-recovery opens of an existing WAL directory).
+	WALAppends     Counter
+	WALAppendBytes Counter
+	WALFsyncs      Counter
+	WALCheckpoints Counter
+	WALRecoveries  Counter
 }
 
 // CountStatement records one completed statement of the given kind with
@@ -249,6 +258,11 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 		KV{"analytics.runs", m.AnalyticsRuns.Value()},
 		KV{"analytics.iterations", m.AnalyticsIters.Value()},
 		KV{"slow_queries", m.SlowQueries.Value()},
+		KV{"wal.appends", m.WALAppends.Value()},
+		KV{"wal.bytes", m.WALAppendBytes.Value()},
+		KV{"wal.fsyncs", m.WALFsyncs.Value()},
+		KV{"wal.checkpoints", m.WALCheckpoints.Value()},
+		KV{"wal.recoveries", m.WALRecoveries.Value()},
 	)
 	for _, gv := range views {
 		p := "graphview." + gv.Name + "."

@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"grfusion/internal/wal"
+)
+
+// TestRecoveryCleanRun: a bounded crash-recovery differential run over the
+// real engine — every DML batch followed by a kill and a recovery — must
+// come back violation-free.
+func TestRecoveryCleanRun(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	rep, err := RunRecovery(Config{Seed: 42, Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("unexpected violation: %s", v)
+	}
+	if rep.Rounds != rounds {
+		t.Errorf("ran %d rounds, want %d", rep.Rounds, rounds)
+	}
+	if rep.Batches == 0 {
+		t.Errorf("no kill/recover cycles ran: %+v", rep)
+	}
+}
+
+// TestRecoveryCatchesLostRecord proves the recovery oracle has teeth:
+// with the WAL reader deliberately dropping the final logged record (one
+// durably logged statement silently lost), a recovery violation must
+// surface within a bounded run and carry a replayable seed.
+func TestRecoveryCatchesLostRecord(t *testing.T) {
+	wal.DebugDropTailRecord = true
+	defer func() { wal.DebugDropTailRecord = false }()
+
+	rep, err := RunRecovery(Config{Seed: 42, Rounds: 10, NoMinimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("lost WAL record not caught in 10 rounds")
+	}
+	v := rep.Violations[0]
+	if !strings.HasPrefix(v.Check, "recovery-") {
+		t.Errorf("expected a recovery-* violation, got %q: %s", v.Check, v.Detail)
+	}
+	if v.Seed == 0 || len(v.SetupSQL) == 0 {
+		t.Errorf("violation not replayable: seed=%d setup=%d stmts", v.Seed, len(v.SetupSQL))
+	}
+
+	// Replayability: re-running just the failing round from its seed finds
+	// a recovery violation again (the same cadence rederives from the
+	// seed, so the lost record strikes the same place).
+	rep2, err := RunRecovery(Config{Seed: v.Seed, Rounds: 1, NoMinimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Violations) == 0 {
+		t.Fatalf("seed %d did not reproduce the violation", v.Seed)
+	}
+	if got := rep2.Violations[0].Check; !strings.HasPrefix(got, "recovery-") {
+		t.Errorf("replay found %q, want a recovery-* family", got)
+	}
+}
+
+// TestRecoveryMinimization: with the lost-record bug injected, ddmin over
+// a failing round must shrink the statement log (or return nil when the
+// failure needs no workload statements at all, i.e. the initial load
+// already trips it).
+func TestRecoveryMinimization(t *testing.T) {
+	wal.DebugDropTailRecord = true
+	defer func() { wal.DebugDropTailRecord = false }()
+
+	rep, err := RunRecovery(Config{Seed: 42, Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("lost WAL record not caught in 10 rounds")
+	}
+	v := rep.Violations[0]
+	if len(v.Minimized) > len(v.Statements) {
+		t.Errorf("minimized log (%d) larger than original (%d)", len(v.Minimized), len(v.Statements))
+	}
+}
+
+// TestDurOptsDeterminism: the durability cadence must be a pure function
+// of the round seed — replay and minimization depend on it.
+func TestDurOptsDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1000003} {
+		a, b := durOptsFor(seed), durOptsFor(seed)
+		if a != b {
+			t.Errorf("seed %d: cadence not deterministic: %s vs %s", seed, a, b)
+		}
+	}
+	if durOptsFor(1) == durOptsFor(2) && durOptsFor(2) == durOptsFor(3) && durOptsFor(3) == durOptsFor(4) && durOptsFor(4) == durOptsFor(5) {
+		t.Error("cadence does not vary across seeds")
+	}
+}

@@ -243,8 +243,12 @@ func (*Show) stmt() {}
 type Set struct {
 	// Name is the upper-cased tunable name.
 	Name string
-	// Value is the integer value.
+	// Value is the integer value (when IsStr is false).
 	Value int64
+	// Str is the value of a string-valued setting, e.g.
+	// SET WAL_FSYNC = ALWAYS (an identifier or a string literal).
+	Str   string
+	IsStr bool
 }
 
 func (*Set) stmt() {}

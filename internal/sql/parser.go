@@ -23,28 +23,42 @@ func Parse(input string) (Statement, error) {
 
 // ParseAll parses a semicolon-separated script.
 func ParseAll(input string) ([]Statement, error) {
+	stmts, _, err := ParseAllWithText(input)
+	return stmts, err
+}
+
+// ParseAllWithText parses a semicolon-separated script and also returns
+// each statement's source text (surrounding whitespace and the trailing
+// ';' stripped), for callers that log or echo statements individually —
+// the durable engine records each script statement in its WAL.
+func ParseAllWithText(input string) ([]Statement, []string, error) {
 	toks, err := Lex(input)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := &parser{toks: toks}
 	var out []Statement
+	var texts []string
 	for {
 		for p.acceptSymbol(";") {
 		}
 		if p.peek().Kind == TokEOF {
 			break
 		}
+		start := p.peek().Pos
 		s, err := p.parseStatement()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		// The next token is the ';' (or EOF, whose Pos is len(input)):
+		// everything between start and it is this statement's source.
 		out = append(out, s)
+		texts = append(texts, strings.TrimSpace(input[start:p.peek().Pos]))
 		if !p.acceptSymbol(";") && p.peek().Kind != TokEOF {
-			return nil, p.errf("expected ';' or end of input, found %s", p.peek())
+			return nil, nil, p.errf("expected ';' or end of input, found %s", p.peek())
 		}
 	}
-	return out, nil
+	return out, texts, nil
 }
 
 type parser struct {
@@ -203,9 +217,11 @@ func (p *parser) parseStatement() (Statement, error) {
 	}
 }
 
-// parseSet parses SET <name> = <int> (e.g. SET QUERY_TIMEOUT = 50). The
-// value may carry a leading '-' so out-of-range settings fail in the
-// engine with a meaningful message rather than in the lexer.
+// parseSet parses SET <name> = <value>. The value is an integer (e.g.
+// SET QUERY_TIMEOUT = 50) or, for string-valued settings, a bare word or
+// string literal (e.g. SET WAL_FSYNC = ALWAYS). An integer may carry a
+// leading '-' so out-of-range settings fail in the engine with a
+// meaningful message rather than in the lexer.
 func (p *parser) parseSet() (Statement, error) {
 	p.i++ // SET
 	name, err := p.identOrKeyword()
@@ -214,6 +230,10 @@ func (p *parser) parseSet() (Statement, error) {
 	}
 	if err := p.expectSymbol("="); err != nil {
 		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokIdent || t.Kind == TokKeyword || t.Kind == TokString {
+		p.i++
+		return &Set{Name: strings.ToUpper(name), Str: t.Text, IsStr: true}, nil
 	}
 	neg := p.acceptSymbol("-")
 	n, err := p.intLit()

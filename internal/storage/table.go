@@ -81,6 +81,14 @@ func (t *Table) Len() int { return t.live }
 // Version returns the mutation counter.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
+// AllocState describes the deterministic row-id allocator: the slot a
+// fresh insert would extend into and the depth of the LIFO free list.
+// The WAL pins this pair per logged statement so crash-recovery replay
+// can prove it assigns the same row ids the original execution did.
+func (t *Table) AllocState() (nextSlot RowID, freeDepth int) {
+	return RowID(len(t.rows) + 1), len(t.free)
+}
+
 func (t *Table) checkRow(row types.Row) error {
 	if len(row) != t.schema.Len() {
 		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
@@ -214,6 +222,88 @@ func (t *Table) Delete(id RowID) error {
 	t.rows[id-1] = nil
 	t.free = append(t.free, id)
 	t.live--
+	t.version.Add(1)
+	return nil
+}
+
+// UndoInsert exactly reverses the table's most recent Insert of id.
+// extended reports whether that Insert grew the row array (the free list
+// was empty); the caller captures it from AllocState before inserting. A
+// reusing insert is reversed by a plain Delete — the slot returns to the
+// top of the LIFO free list it was popped from — but an extending insert
+// must also shrink the row array, or an aborted statement would leave an
+// allocator trace (one extra slot plus one hole) that crash-recovery
+// replay, which only ever sees applied statements, can never reproduce.
+func (t *Table) UndoInsert(id RowID, extended bool) error {
+	if err := t.Delete(id); err != nil {
+		return err
+	}
+	if !extended {
+		return nil
+	}
+	if int(id) != len(t.rows) || len(t.free) == 0 || t.free[len(t.free)-1] != id {
+		return fmt.Errorf("table %s: undo of extending insert %d out of order", t.name, id)
+	}
+	t.free = t.free[:len(t.free)-1]
+	t.rows = t.rows[:len(t.rows)-1]
+	return nil
+}
+
+// FreeList returns a copy of the free list in LIFO order (the slot a
+// fresh insert would reuse is last). Snapshots persist it so a restored
+// table keeps allocating exactly like the original.
+func (t *Table) FreeList() []RowID {
+	return append([]RowID(nil), t.free...)
+}
+
+// RestoreSlots loads an exact slot image into an empty table: rows[i]
+// becomes the tuple in slot i+1, nil entries are holes, and free is the
+// LIFO free list covering exactly those holes. Preserving slot numbers
+// and free-list order keeps RowIDs — the main-memory tuple pointers graph
+// views hold (§3.2) — and every future allocation of the deterministic
+// allocator identical to the table the image was taken from, which WAL
+// replay depends on.
+func (t *Table) RestoreSlots(rows []types.Row, free []RowID) error {
+	if t.live > 0 || len(t.rows) > 0 || len(t.free) > 0 {
+		return fmt.Errorf("table %s: slot restore into a non-empty table", t.name)
+	}
+	holes := make(map[RowID]bool)
+	for i, r := range rows {
+		if r == nil {
+			holes[RowID(i+1)] = true
+		}
+	}
+	if len(free) != len(holes) {
+		return fmt.Errorf("table %s: free list has %d entries for %d holes", t.name, len(free), len(holes))
+	}
+	for _, id := range free {
+		if !holes[id] {
+			return fmt.Errorf("table %s: free-list slot %d is not a hole", t.name, id)
+		}
+		delete(holes, id) // each hole exactly once
+	}
+	for i, row := range rows {
+		if row == nil {
+			continue
+		}
+		if err := t.checkRow(row); err != nil {
+			return err
+		}
+		if t.pk != nil {
+			key := types.KeyOf(row, t.pkCols)
+			if _, dup := t.pk[key]; dup {
+				return fmt.Errorf("table %s: duplicate primary key %s",
+					t.name, describeKey(row, t.pkCols))
+			}
+			t.pk[key] = RowID(i + 1)
+		}
+		for _, ix := range t.indexes {
+			ix.insert(row, RowID(i+1))
+		}
+		t.live++
+	}
+	t.rows = rows
+	t.free = append([]RowID(nil), free...)
 	t.version.Add(1)
 	return nil
 }

@@ -77,6 +77,48 @@ func TestRowIDStabilityAndReuse(t *testing.T) {
 	}
 }
 
+func TestUndoInsertRestoresAllocator(t *testing.T) {
+	tb := usersTable(t)
+	mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(1))
+	b := mustInsert(t, tb, types.NewInt(2), types.NewString("b"), types.NewInt(2))
+	next, depth := tb.AllocState()
+
+	// Extending insert: undo must shrink the row array back, not leave a
+	// hole on the free list.
+	c := mustInsert(t, tb, types.NewInt(3), types.NewString("c"), types.NewInt(3))
+	if err := tb.UndoInsert(c, true); err != nil {
+		t.Fatal(err)
+	}
+	if n, d := tb.AllocState(); n != next || d != depth {
+		t.Fatalf("undo of extending insert: alloc (%d,%d), want (%d,%d)", n, d, next, depth)
+	}
+
+	// Reusing insert: undo must push the slot back on top of the free list.
+	if err := tb.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	next, depth = tb.AllocState()
+	d := mustInsert(t, tb, types.NewInt(4), types.NewString("d"), types.NewInt(4))
+	if d != b {
+		t.Fatalf("insert reused slot %d, want %d", d, b)
+	}
+	if err := tb.UndoInsert(d, false); err != nil {
+		t.Fatal(err)
+	}
+	if n, d := tb.AllocState(); n != next || d != depth {
+		t.Fatalf("undo of reusing insert: alloc (%d,%d), want (%d,%d)", n, d, next, depth)
+	}
+	if e := mustInsert(t, tb, types.NewInt(5), types.NewString("e"), types.NewInt(5)); e != b {
+		t.Fatalf("slot after undo: insert took %d, want %d", e, b)
+	}
+
+	// Claiming "extended" for a slot that is not the newest is a caller bug
+	// and must be reported, not silently corrupt the row array.
+	if err := tb.UndoInsert(RowID(1), true); err == nil {
+		t.Fatal("out-of-order extended undo succeeded")
+	}
+}
+
 func TestPrimaryKeyEnforcement(t *testing.T) {
 	tb := usersTable(t)
 	mustInsert(t, tb, types.NewInt(1), types.NewString("a"), types.NewInt(1))
