@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos recover durbench fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos diskchaos recover durbench fmt vet clean
 
 all: build test
 
@@ -30,6 +30,17 @@ oracle:
 # aborts under the race detector. CI runs the same budget.
 chaos:
 	GRF_SOAK=30 $(GO) test -race -v -run 'TestChaos' -timeout 8m ./internal/server
+
+# Disk-fault chaos soak: a durable engine endures a 30s seeded storm of
+# injected WAL write/sync/truncate failures and disk-full windows,
+# degrading to read-only and self-healing each cycle, with reads checked
+# differentially against a non-durable reference and a kill-and-recover
+# finale — under the race detector. The degraded-write retry-policy and
+# health-surface agreement tests ride along. CI runs the same budget.
+diskchaos:
+	GRF_SOAK=30 $(GO) test -race -v -timeout 8m \
+		-run 'TestDiskFault|TestDegradedMode|TestDiskFull|TestDegradedWrite|TestHealthSurfaces' \
+		./internal/core ./internal/server
 
 # Kill-and-recover battery: the focused durability/recovery tests, a 20s
 # kill-and-recover chaos soak (injected WAL faults, checkpoint crash

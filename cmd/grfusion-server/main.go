@@ -11,15 +11,27 @@
 //	                [-metrics-addr 127.0.0.1:21213]
 //	                [-wal dir] [-wal-fsync always|interval|off]
 //	                [-wal-fsync-interval 50ms] [-checkpoint-every N]
+//	                [-wal-soft-free bytes] [-wal-hard-free bytes]
+//	                [-heal-base 25ms] [-heal-max 2s]
 //
 // -metrics-addr serves the observability endpoint over HTTP: /metrics is
-// the flat JSON form of SHOW METRICS, /debug/vars the expvar view.
+// the flat JSON form of SHOW METRICS, /debug/vars the expvar view,
+// /healthz the durability health (always 200), /readyz the write
+// readiness (503 while the engine is degraded to read-only).
 // -slow-query arms the engine's slow-query log at the given threshold.
 //
 // -wal makes the server durable: every mutating statement is logged to a
 // write-ahead log in the directory before it applies, checkpoints bound
 // recovery time, and startup recovers whatever a previous process
 // (crashed or not) left there.
+//
+// -wal-soft-free and -wal-hard-free are disk-space watermarks: free space
+// under the soft mark forces a checkpoint + WAL truncation to give space
+// back; under the hard mark the server degrades to read-only (reads,
+// EXPLAIN, SHOW and the health surface keep serving; writes fail fast
+// with a typed degraded error) and a background prober with capped
+// exponential backoff (-heal-base/-heal-max) restores read-write once the
+// disk recovers.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements finish
 // and flush their responses, bounded by -drain-timeout; a durable server
@@ -62,6 +74,11 @@ func main() {
 		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or off (SET WAL_FSYNC adjusts at runtime)")
 		walFsyncIv = flag.Duration("wal-fsync-interval", 0, "background sync period under -wal-fsync interval (0 = 50ms default)")
 		walEvery   = flag.Int("checkpoint-every", 0, "automatic checkpoint after N logged statements (0 = default, negative = manual only; SET CHECKPOINT_EVERY adjusts at runtime)")
+
+		walSoftFree = flag.Int64("wal-soft-free", 0, "soft disk-space watermark in bytes: force a checkpoint + WAL truncation when free space drops below it (0 = disabled)")
+		walHardFree = flag.Int64("wal-hard-free", 0, "hard disk-space watermark in bytes: degrade to read-only when free space drops below it (0 = disabled)")
+		healBase    = flag.Duration("heal-base", 0, "first self-heal probe backoff after degrading (0 = 25ms default)")
+		healMax     = flag.Duration("heal-max", 0, "self-heal probe backoff cap (0 = 2s default)")
 	)
 	flag.Parse()
 
@@ -84,6 +101,10 @@ func main() {
 			Fsync:           policy,
 			FsyncInterval:   *walFsyncIv,
 			CheckpointEvery: *walEvery,
+			SoftFreeBytes:   *walSoftFree,
+			HardFreeBytes:   *walHardFree,
+			HealBase:        *healBase,
+			HealMax:         *healMax,
 		}
 	}
 	eng, recovery, err := core.Open(opts)

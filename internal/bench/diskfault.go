@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/faultfs"
+	"grfusion/internal/types"
+	"grfusion/internal/wal"
+)
+
+// DiskFaultBench measures the disk-fault tolerance machinery itself:
+//
+//   - ms_per_insert: the write path through a calm faultfs injector —
+//     the tax of routing every file op through the fault layer;
+//   - health_ns: Engine.Health(), which must stay lock-free so health
+//     probes answer even while a write is stuck on a sick disk;
+//   - degraded_reject_ms: how fast a mutating statement fails once the
+//     engine is degraded (fail-fast: no disk I/O, no logging);
+//   - heal_ms: disk recovers → engine back to read-write, averaged over
+//     several degrade → heal cycles (probe backoff floor included).
+func DiskFaultBench(cfg Config) []Row {
+	cfg = cfg.Defaults()
+	n := scaled(1000, cfg.Scale)
+	dir, err := os.MkdirTemp("", "grfusion-bench-fault-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ffs := faultfs.NewFaulty(nil, cfg.Seed)
+	var opts core.Options
+	opts.Durability = core.Durability{
+		Dir: dir, Fsync: wal.FsyncOff, FS: ffs, CheckpointEvery: -1,
+		HealBase: time.Millisecond, HealMax: 8 * time.Millisecond,
+	}
+	eng, _, err := core.Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Kill()
+	if _, err := eng.Execute(`CREATE TABLE people (id BIGINT, name VARCHAR, PRIMARY KEY (id))`); err != nil {
+		panic(err)
+	}
+	ins, err := eng.PrepareDML("INSERT INTO people VALUES (?, ?)")
+	if err != nil {
+		panic(err)
+	}
+	next := 0
+	insert := func() error {
+		next++
+		_, err := ins.Exec(types.NewInt(int64(next)), types.NewString(fmt.Sprintf("p%d", next)))
+		return err
+	}
+	param := fmt.Sprintf("n=%d", n)
+	point := func(metric string, value float64, note string) Row {
+		return Row{Experiment: "diskfault", Dataset: "synthetic", System: "grfusion",
+			Param: param, Metric: metric, Value: value, Note: note}
+	}
+	var rows []Row
+
+	// Healthy write path, every file op routed through the calm injector.
+	ms, note := timeAvgMS(n, func(int) error { return insert() })
+	rows = append(rows, point("ms_per_insert", ms, note))
+
+	// Health probe cost: must be cheap and lock-free.
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		_ = eng.Health()
+	}
+	rows = append(rows, point("health_ns", float64(time.Since(start).Nanoseconds())/float64(n), ""))
+
+	// Degraded fail-fast: break the disk, let one write trip the degrade,
+	// then time how fast further writes are rejected.
+	ffs.SetRate(faultfs.OpWrite, 1)
+	ffs.SetRate(faultfs.OpTruncate, 1)
+	if err := insert(); !errors.Is(err, core.ErrDegraded) {
+		panic(fmt.Sprintf("disk break did not degrade the engine: %v", err))
+	}
+	rejected := 0
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := insert(); errors.Is(err, core.ErrDegraded) {
+			rejected++
+		}
+	}
+	rejectMS := float64(time.Since(start).Microseconds()) / float64(n) / 1000
+	rows = append(rows, point("degraded_reject_ms", rejectMS,
+		fmt.Sprintf("%d/%d rejected", rejected, n)))
+
+	// Degrade → heal cycle time: disk comes back, probe brings the engine
+	// back to read-write. Includes the probe backoff floor.
+	const cycles = 5
+	var healTotal time.Duration
+	for c := 0; c < cycles; c++ {
+		if eng.Health().State == core.StateHealthy {
+			ffs.SetRate(faultfs.OpWrite, 1)
+			ffs.SetRate(faultfs.OpTruncate, 1)
+			if err := insert(); !errors.Is(err, core.ErrDegraded) {
+				panic(fmt.Sprintf("cycle %d did not degrade: %v", c, err))
+			}
+		}
+		ffs.Calm()
+		start = time.Now()
+		for eng.Health().State != core.StateHealthy {
+			time.Sleep(100 * time.Microsecond)
+		}
+		healTotal += time.Since(start)
+	}
+	rows = append(rows, point("heal_ms",
+		float64(healTotal.Microseconds())/cycles/1000, fmt.Sprintf("%d cycles", cycles)))
+	return rows
+}

@@ -631,6 +631,7 @@ func All(cfg Config) []Row {
 	rows = append(rows, CSRBench(cfg)...)
 	rows = append(rows, AnalyticsBench(cfg)...)
 	rows = append(rows, DurabilityBench(cfg)...)
+	rows = append(rows, DiskFaultBench(cfg)...)
 	return rows
 }
 
@@ -649,4 +650,5 @@ var Experiments = map[string]func(Config) []Row{
 	"csr":           CSRBench,
 	"analytics":     AnalyticsBench,
 	"durability":    DurabilityBench,
+	"diskfault":     DiskFaultBench,
 }

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grfusion/internal/faultfs"
+	"grfusion/internal/wal"
+)
+
+// waitState polls until the engine's health reaches want (the healer runs
+// in the background, so transitions are asynchronous).
+func waitState(t *testing.T, e *Engine, want HealthState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e.Health().State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h := e.Health()
+	t.Fatalf("engine did not reach %v within %v (state %v, reason %q, last heal error %q)",
+		want, timeout, h.State, h.Reason, h.LastHealError)
+}
+
+func metricsMap(e *Engine) map[string]int64 {
+	out := make(map[string]int64)
+	for _, kv := range e.MetricsSnapshot() {
+		out[kv.Name] = kv.Value
+	}
+	return out
+}
+
+func healthRows(t *testing.T, e *Engine) map[string]string {
+	t.Helper()
+	res, err := e.Execute("SHOW HEALTH")
+	if err != nil {
+		t.Fatalf("SHOW HEALTH: %v", err)
+	}
+	out := make(map[string]string, len(res.Rows))
+	for _, r := range res.Rows {
+		out[r[0].S] = r[1].S
+	}
+	return out
+}
+
+func TestHealthNonDurable(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	h := e.Health()
+	if h.State != StateHealthy || h.Durable || !h.Ready() {
+		t.Fatalf("non-durable engine health = %+v, want healthy/non-durable/ready", h)
+	}
+	rows := healthRows(t, e)
+	if rows["state"] != "healthy" || rows["durable"] != "false" || rows["ready"] != "true" {
+		t.Fatalf("SHOW HEALTH on non-durable engine = %v", rows)
+	}
+}
+
+// TestDegradedModeAndHeal walks the full degrade → heal cycle: a WAL made
+// unusable by injected faults flips the engine to read-only, reads and the
+// health surface keep serving, writes fail fast with ErrDegraded without
+// touching the disk, and once the faults clear the background healer
+// restores read-write with zero lost acknowledged writes (proved by
+// kill-and-recover).
+func TestDegradedModeAndHeal(t *testing.T) {
+	ffs := faultfs.NewFaulty(nil, 42)
+	dir := t.TempDir()
+	var opts Options
+	opts.Durability = Durability{
+		Dir: dir, Fsync: wal.FsyncAlways, FS: ffs,
+		CheckpointEvery: -1,
+		HealBase:        time.Millisecond, HealMax: 8 * time.Millisecond,
+	}
+	eng, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer eng.Close()
+	mustExecAll(t, eng, durSetup)
+	mustExecAll(t, eng, `
+INSERT INTO people VALUES (1, 'ann');
+INSERT INTO people VALUES (2, 'bob');
+INSERT INTO knows VALUES (1, 1, 2, 5);
+`)
+	sigBefore := stateSig(t, eng)
+
+	// Break the durability path: every write fails AND the rollback
+	// truncation fails, so the log cannot restore a clean tail.
+	ffs.SetRate(faultfs.OpWrite, 1)
+	ffs.SetRate(faultfs.OpTruncate, 1)
+	_, err = eng.Execute("INSERT INTO people VALUES (3, 'carol')")
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("write on broken WAL: err = %v, want ErrDegraded", err)
+	}
+	h := eng.Health()
+	if h.State != StateDegraded && h.State != StateHealing {
+		t.Fatalf("state after broken WAL = %v, want degraded", h.State)
+	}
+	if h.Reason == "" || !h.Durable {
+		t.Fatalf("degraded health missing detail: %+v", h)
+	}
+
+	// Reads, SHOW and EXPLAIN keep serving, and see exactly the
+	// pre-degrade state (the failed insert never applied).
+	if got := stateSig(t, eng); got != sigBefore {
+		t.Fatalf("degraded reads diverged:\n got %s\nwant %s", got, sigBefore)
+	}
+	if _, err := eng.Execute("EXPLAIN SELECT name FROM people"); err != nil {
+		t.Fatalf("EXPLAIN while degraded: %v", err)
+	}
+	rows := healthRows(t, eng)
+	if rows["state"] == "healthy" || rows["ready"] != "false" {
+		t.Fatalf("SHOW HEALTH while degraded = %v", rows)
+	}
+
+	// Further writes fail fast — before touching the disk at all.
+	opsBefore := ffs.Ops()
+	if _, err := eng.Execute("DELETE FROM people WHERE id = 1"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second degraded write: err = %v, want ErrDegraded", err)
+	}
+	if got := ffs.Ops(); got != opsBefore {
+		t.Fatalf("degraded write touched the disk: %d ops, want %d", got, opsBefore)
+	}
+	m := metricsMap(eng)
+	if m["durability.degraded"] != 1 {
+		t.Fatalf("durability.degraded = %d, want 1", m["durability.degraded"])
+	}
+	if m["durability.degraded_writes"] < 2 {
+		t.Fatalf("durability.degraded_writes = %d, want >= 2", m["durability.degraded_writes"])
+	}
+	if m["errors.degraded"] < 1 {
+		t.Fatalf("errors.degraded = %d, want >= 1", m["errors.degraded"])
+	}
+
+	// Clear the weather; the healer checkpoints, rotates in a fresh log,
+	// probes an append+fsync round trip, and re-admits writes.
+	ffs.Calm()
+	waitState(t, eng, StateHealthy, 5*time.Second)
+	if _, err := eng.Execute("INSERT INTO people VALUES (3, 'carol')"); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	sigHealed := stateSig(t, eng)
+	rows = healthRows(t, eng)
+	if rows["state"] != "healthy" || rows["ready"] != "true" || rows["reason"] != "" {
+		t.Fatalf("SHOW HEALTH after heal = %v", rows)
+	}
+	m = metricsMap(eng)
+	if m["durability.heals"] < 1 || m["durability.heal_attempts"] < 1 {
+		t.Fatalf("heal metrics not recorded: %v", m)
+	}
+	if m["durability.degraded"] != 0 {
+		t.Fatalf("durability.degraded = %d after heal, want 0", m["durability.degraded"])
+	}
+
+	// Kill-and-recover: the post-heal write was durably logged, the
+	// pre-heal aborted writes were not.
+	eng.Kill()
+	re, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("recovery after heal: %v", err)
+	}
+	defer re.Close()
+	if got := stateSig(t, re); got != sigHealed {
+		t.Fatalf("recovered state diverged from acknowledged history:\n got %s\nwant %s", got, sigHealed)
+	}
+	if h := re.Health(); h.State != StateHealthy {
+		t.Fatalf("recovered engine health = %v, want healthy", h.State)
+	}
+}
+
+// TestDiskFullWatermarks drives the free-space watermarks end to end:
+// under the soft watermark an append forces a checkpoint + WAL rotation to
+// give space back; under the hard watermark the engine degrades instead of
+// consuming the disk's last bytes; heal probes keep failing while space
+// stays scarce and succeed as soon as it returns.
+func TestDiskFullWatermarks(t *testing.T) {
+	ffs := faultfs.NewFaulty(nil, 7)
+	ffs.SetFree(1 << 20)
+	dir := t.TempDir()
+	var opts Options
+	opts.Durability = Durability{
+		Dir: dir, Fsync: wal.FsyncOff, FS: ffs,
+		CheckpointEvery: -1,
+		SoftFreeBytes:   256 << 10,
+		HardFreeBytes:   16 << 10,
+		HealBase:        time.Millisecond, HealMax: 8 * time.Millisecond,
+	}
+	eng, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer eng.Close()
+	mustExecAll(t, eng, durSetup)
+	mustExecAll(t, eng, `
+INSERT INTO people VALUES (1, 'ann');
+INSERT INTO people VALUES (2, 'bob');
+INSERT INTO knows VALUES (1, 1, 2, 5);
+`)
+
+	// Soft watermark: the next append reclaims WAL space first.
+	ckpts := metricsMap(eng)["wal.checkpoints"]
+	logSize := eng.dur.log.Size()
+	ffs.SetFree(100 << 10) // below soft, above hard
+	if _, err := eng.Execute("INSERT INTO people VALUES (3, 'carol')"); err != nil {
+		t.Fatalf("insert under soft watermark: %v", err)
+	}
+	if got := metricsMap(eng)["wal.checkpoints"]; got != ckpts+1 {
+		t.Fatalf("soft watermark forced %d checkpoints, want %d", got-ckpts, 1)
+	}
+	if got := eng.dur.log.Size(); got >= logSize {
+		t.Fatalf("soft watermark did not shrink the log: %d -> %d bytes", logSize, got)
+	}
+	if h := eng.Health(); h.State != StateHealthy {
+		t.Fatalf("soft watermark degraded the engine: %v", h.State)
+	}
+
+	// Hard watermark: writes are refused outright.
+	ffs.SetFree(8 << 10)
+	_, err = eng.Execute("INSERT INTO people VALUES (4, 'dave')")
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert under hard watermark: err = %v, want ErrDegraded", err)
+	}
+	if h := eng.Health(); h.Reason == "" || !strings.Contains(h.Reason, "watermark") {
+		t.Fatalf("degrade reason = %q, want a watermark explanation", h.Reason)
+	}
+
+	// Heal probes run but fail while space stays scarce.
+	deadline := time.Now().Add(2 * time.Second)
+	for metricsMap(eng)["durability.heal_attempts"] < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := metricsMap(eng)["durability.heal_attempts"]; got < 2 {
+		t.Fatalf("heal attempts = %d, want >= 2 while disk stays full", got)
+	}
+	if got := eng.Health().State; got == StateHealthy {
+		t.Fatal("engine healed while free space was still under the hard watermark")
+	}
+
+	// Space returns; the engine heals and writes flow again.
+	ffs.SetFree(4 << 20)
+	waitState(t, eng, StateHealthy, 5*time.Second)
+	if _, err := eng.Execute("INSERT INTO people VALUES (4, 'dave')"); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+	sig := stateSig(t, eng)
+
+	eng.Kill()
+	re, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer re.Close()
+	if got := stateSig(t, re); got != sig {
+		t.Fatalf("recovered state diverged:\n got %s\nwant %s", got, sig)
+	}
+}
+
+// TestDiskFaultSoak is the disk-fault chaos soak: a durable engine runs a
+// seeded random DML workload over a faultfs whose weather keeps changing —
+// transient EIO storms, a fully broken log, a disk running out of space —
+// with tiny heal backoffs so the engine cycles degraded → healed many
+// times. Reads during degraded windows are checked differentially against
+// a non-durable reference engine fed only the acknowledged statements;
+// rejected writes must be classified ErrDegraded; background reader and
+// health-poller goroutines run throughout (the -race payoff); and the soak
+// ends with a kill-and-recover proving zero acknowledged writes were lost.
+//
+// GRF_SOAK extends the duration (seconds), as in the CI diskchaos lane.
+func TestDiskFaultSoak(t *testing.T) {
+	duration := 1200 * time.Millisecond
+	if s := os.Getenv("GRF_SOAK"); s != "" {
+		var secs int
+		if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+			duration = time.Duration(secs) * time.Second
+		}
+	}
+	const seed = 20260811
+	rng := rand.New(rand.NewSource(seed))
+	ffs := faultfs.NewFaulty(nil, seed+1)
+	dir := t.TempDir()
+
+	ref := New(Options{})
+	defer ref.Close()
+	mustExecAll(t, ref, durSetup)
+
+	var opts Options
+	opts.Durability = Durability{
+		Dir: dir, Fsync: wal.FsyncAlways, FS: ffs,
+		CheckpointEvery: 16,
+		HealBase:        time.Millisecond, HealMax: 8 * time.Millisecond,
+	}
+	eng, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustExecAll(t, eng, durSetup)
+
+	// Background readers: a query loop and a health poller, exercising the
+	// lock-free health surface and shared-lock reads concurrently with
+	// writes, degradations and heals.
+	stopBG := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopBG:
+				return
+			default:
+			}
+			eng.Execute("SELECT COUNT(*) FROM people")
+			eng.Execute("SELECT src, dst FROM knows WHERE w > 3")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopBG:
+				return
+			default:
+			}
+			eng.Health()
+			eng.Execute("SHOW HEALTH")
+		}
+	}()
+
+	randomStmt := func() string {
+		id := rng.Intn(60)
+		switch rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf("INSERT INTO people VALUES (%d, 'p%d')", id, id)
+		case 1:
+			return fmt.Sprintf("UPDATE people SET name = 'u%d' WHERE id = %d", rng.Intn(100), id)
+		case 2:
+			return fmt.Sprintf("DELETE FROM people WHERE id = %d", id)
+		case 3:
+			return fmt.Sprintf("INSERT INTO knows VALUES (%d, %d, %d, %d)", id, rng.Intn(60), rng.Intn(60), rng.Intn(9))
+		default:
+			return fmt.Sprintf("DELETE FROM knows WHERE id = %d", id)
+		}
+	}
+
+	// exec mirrors an acknowledged statement into the reference engine.
+	exec := func(q string) (acked bool, err error) {
+		if _, err = eng.Execute(q); err != nil {
+			return false, err
+		}
+		if _, rerr := ref.Execute(q); rerr != nil {
+			t.Fatalf("reference rejected acknowledged statement %q: %v", q, rerr)
+		}
+		return true, nil
+	}
+
+	const sel = "SELECT id, name FROM people"
+	var stmts, acked, degradedWrites, cycles int
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		cycles++
+		// Calm-weather work, with an occasional transient EIO drizzle that
+		// aborts statements but must never degrade the engine.
+		drizzle := rng.Intn(3) == 0
+		if drizzle {
+			ffs.SetRate(faultfs.OpWrite, 0.2)
+			ffs.SetRate(faultfs.OpSync, 0.2)
+		}
+		for i, n := 0, 20+rng.Intn(30); i < n; i++ {
+			stmts++
+			if ok, _ := exec(randomStmt()); ok {
+				acked++
+			}
+		}
+		if drizzle {
+			ffs.Calm()
+			if h := eng.Health(); h.State != StateHealthy {
+				t.Fatalf("transient fault drizzle degraded the engine: %q", h.Reason)
+			}
+		}
+
+		// Raise a storm that takes the durability path down entirely.
+		if rng.Intn(2) == 0 {
+			ffs.SetRate(faultfs.OpWrite, 1)    // break the log: write fails...
+			ffs.SetRate(faultfs.OpTruncate, 1) // ...and rollback cannot clean up
+		} else {
+			ffs.SetFree(int64(rng.Intn(64))) // the disk fills up
+		}
+		sawDegraded := false
+		for i := 0; i < 50 && !sawDegraded; i++ {
+			stmts++
+			ok, err := exec(randomStmt()) // a small frame may still fit the budget
+			if ok {
+				acked++
+			}
+			sawDegraded = errors.Is(err, ErrDegraded)
+		}
+		if !sawDegraded {
+			t.Fatal("storm did not degrade the engine within 50 statements")
+		}
+		degradedWrites++
+
+		// Degraded window: rejected writes are typed, reads still serve
+		// exactly the acknowledged history.
+		if _, err := eng.Execute(randomStmt()); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("degraded write: err = %v, want ErrDegraded", err)
+		}
+		degradedWrites++
+		if ds, rs := querySig(t, eng, sel), querySig(t, ref, sel); ds != rs {
+			t.Fatalf("degraded reads diverged from acknowledged history\n engine: %s\n ref:    %s", ds, rs)
+		}
+
+		// Skies clear; the engine must heal and take writes again.
+		ffs.Calm()
+		ffs.SetFree(-1)
+		waitState(t, eng, StateHealthy, 10*time.Second)
+	}
+
+	// Clear the skies and let the engine heal for the finale.
+	ffs.Calm()
+	ffs.SetFree(-1)
+	waitState(t, eng, StateHealthy, 10*time.Second)
+	for i := 0; i < 5; i++ {
+		q := fmt.Sprintf("INSERT INTO people VALUES (%d, 'final%d')", 100+i, i)
+		if _, err := eng.Execute(q); err != nil {
+			t.Fatalf("post-heal write %d: %v", i, err)
+		}
+		if _, err := ref.Execute(q); err != nil {
+			t.Fatalf("reference post-heal write %d: %v", i, err)
+		}
+	}
+	close(stopBG)
+	wg.Wait()
+
+	if ds, rs := stateSig(t, eng), stateSig(t, ref); ds != rs {
+		t.Fatalf("final state diverged from reference\nengine:\n%s\nreference:\n%s", ds, rs)
+	}
+
+	// Kill-and-recover: FsyncAlways ran the whole soak, so recovery must
+	// reproduce every acknowledged write — including those between heals.
+	eng.Kill()
+	re, info, err := Open(opts)
+	if err != nil {
+		t.Fatalf("recovery after soak: %v", err)
+	}
+	defer re.Close()
+	if info.ReplayErrors != 0 {
+		t.Fatalf("recovery replayed %d records with %d errors", info.Replayed, info.ReplayErrors)
+	}
+	if ds, rs := stateSig(t, re), stateSig(t, ref); ds != rs {
+		t.Fatalf("recovered state diverged from reference\nrecovered:\n%s\nreference:\n%s", ds, rs)
+	}
+	if h := re.Health(); h.State != StateHealthy {
+		t.Fatalf("recovered engine health = %v, want healthy", h.State)
+	}
+	t.Logf("disk-fault soak: %d cycles, %d statements (%d acked, %d degraded rejections), %d heals",
+		cycles, stmts, acked, degradedWrites, metricsMap(eng)["durability.heals"])
+}

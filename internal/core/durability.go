@@ -8,8 +8,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"grfusion/internal/faultfs"
 	"grfusion/internal/sql"
 	"grfusion/internal/types"
 	"grfusion/internal/wal"
@@ -40,6 +42,26 @@ type Durability struct {
 	// Changeable at runtime with SET CHECKPOINT_EVERY = <n>.
 	CheckpointEvery int
 
+	// SoftFreeBytes / HardFreeBytes are disk-space watermarks checked on
+	// the WAL append path. Free space under SoftFreeBytes forces a
+	// checkpoint + WAL rotation to give log space back to the disk; under
+	// HardFreeBytes the engine degrades to read-only instead of consuming
+	// the last bytes the rest of the host needs. Zero disables a
+	// watermark. (Off Linux the real filesystem cannot report free space
+	// and both are inert unless FS overrides Free.)
+	SoftFreeBytes int64
+	HardFreeBytes int64
+
+	// HealBase / HealMax bound the self-healing probe's capped
+	// exponential backoff once the engine degrades (defaults 25ms / 2s).
+	HealBase time.Duration
+	HealMax  time.Duration
+
+	// FS is the storage layer the WAL and checkpoints write through;
+	// nil means the real filesystem. The disk-fault chaos tests pass a
+	// faultfs.Faulty here.
+	FS faultfs.FS
+
 	// FaultHook injects WAL file-operation failures ("write", "sync",
 	// "rotate"); CrashHook simulates crashes inside the checkpoint's
 	// atomic-rename protocol. Test hooks; leave nil in production.
@@ -62,10 +84,14 @@ const defaultCheckpointEvery = 4096
 type durState struct {
 	log   *wal.Log
 	dir   string
+	fs    faultfs.FS
 	crash wal.CrashFunc
 	// every / sinceCkpt drive automatic checkpoints.
 	every     int
 	sinceCkpt int
+	// softFree / hardFree are the disk-space watermarks (bytes; 0 = off).
+	softFree int64
+	hardFree int64
 }
 
 // RecoveryInfo describes what Open found on disk.
@@ -146,11 +172,13 @@ func Open(opts Options) (*Engine, *RecoveryInfo, error) {
 		Fsync:     d.Fsync,
 		Interval:  d.FsyncInterval,
 		FaultHook: d.FaultHook,
+		FS:        d.FS,
 		OnSync:    func() { e.metrics.WALFsyncs.Inc() },
 		OnAppend: func(n int) {
 			e.metrics.WALAppends.Inc()
 			e.metrics.WALAppendBytes.Add(int64(n))
 		},
+		OnRollback: func() { e.metrics.WALRollbacks.Inc() },
 	})
 	if err != nil {
 		return nil, nil, err
@@ -174,9 +202,27 @@ func Open(opts Options) (*Engine, *RecoveryInfo, error) {
 	lg.EnsureLSN(info.CheckpointLSN)
 	info.LastLSN = lg.LastLSN()
 	e.mu.Lock()
-	e.dur = durState{log: lg, dir: d.Dir, crash: d.CrashHook, every: d.CheckpointEvery}
+	fs := d.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	e.dur = durState{
+		log: lg, dir: d.Dir, fs: fs, crash: d.CrashHook,
+		every: d.CheckpointEvery, softFree: d.SoftFreeBytes, hardFree: d.HardFreeBytes,
+	}
 	if e.dur.every == 0 {
 		e.dur.every = defaultCheckpointEvery
+	}
+	e.health.durable.Store(true)
+	e.health.healBase, e.health.healMax = d.HealBase, d.HealMax
+	if e.health.healBase <= 0 {
+		e.health.healBase = defaultHealBase
+	}
+	if e.health.healMax <= 0 {
+		e.health.healMax = defaultHealMax
+	}
+	if e.health.healMax < e.health.healBase {
+		e.health.healMax = e.health.healBase
 	}
 	// Rebuild the derived per-view CSR snapshots so the first traversal
 	// after recovery does not pay the build.
@@ -256,12 +302,81 @@ func (e *Engine) walRecordLocked(stmt sql.Statement, text string, params []types
 // walAppendLocked logs rec ahead of applying it. On failure nothing has
 // been applied and nothing survives in the log: the statement aborts
 // cleanly. Requires the write lock.
+//
+// This is also the engine's disk-fault choke point: every mutating
+// statement on a durable engine passes through here (Execute and prepared
+// DML alike), so the degraded-mode gate, the disk-space watermarks, and
+// the degrade triggers all live in one place. A transient injected write
+// fault aborts only its own statement — the log rolled back cleanly and
+// stays usable; the engine degrades only when the log itself is unusable
+// (rollback truncation failed, file may end mid-frame) or the disk is out
+// of space.
 func (e *Engine) walAppendLocked(rec *wal.Record) (uint64, error) {
+	if e.health.isDegraded() {
+		e.metrics.DegradedWrites.Inc()
+		reason := e.Health().Reason
+		return 0, fmt.Errorf("%w (%s); reads still serve, retry writes after heal", ErrDegraded, reason)
+	}
+	if err := e.checkDiskSpaceLocked(); err != nil {
+		return 0, err
+	}
 	lsn, err := e.dur.log.Append(rec)
 	if err != nil {
+		if reason := degradeReason(err, e.dur.log.Broken()); reason != "" {
+			e.degradeLocked(reason)
+			e.metrics.DegradedWrites.Inc()
+			return 0, fmt.Errorf("statement aborted, not logged: %w: %v", ErrDegraded, err)
+		}
 		return 0, fmt.Errorf("statement aborted, not logged: %w", err)
 	}
 	return lsn, nil
+}
+
+// degradeReason classifies a failed append: "" means transient (abort the
+// statement, stay healthy), anything else degrades the engine.
+func degradeReason(err, broken error) string {
+	switch {
+	case broken != nil:
+		return "wal unusable: " + broken.Error()
+	case errors.Is(err, syscall.ENOSPC):
+		return "disk full: " + err.Error()
+	}
+	return ""
+}
+
+// checkDiskSpaceLocked enforces the disk-space watermarks before an
+// append. Under the soft watermark it reclaims WAL space with a
+// checkpoint + rotation (the snapshot replaces an arbitrarily long log
+// with one bounded by live data); under the hard watermark it degrades
+// the engine rather than consume the disk's last bytes. Requires the
+// write lock.
+func (e *Engine) checkDiskSpaceLocked() error {
+	d := &e.dur
+	if d.softFree <= 0 && d.hardFree <= 0 {
+		return nil
+	}
+	free, ok := d.fs.Free(d.dir)
+	if !ok {
+		return nil
+	}
+	if d.hardFree > 0 && free < d.hardFree {
+		e.degradeLocked(fmt.Sprintf("free disk space %d B under hard watermark %d B", free, d.hardFree))
+		e.metrics.DegradedWrites.Inc()
+		return fmt.Errorf("%w: free disk space %d B under hard watermark %d B", ErrDegraded, free, d.hardFree)
+	}
+	if d.softFree > 0 && free < d.softFree && d.log.Size() > wal.HeaderSize {
+		if err := e.checkpointLocked(); err != nil {
+			log.Printf("core: soft-watermark checkpoint: %v", err)
+			if errors.Is(err, syscall.ENOSPC) {
+				e.degradeLocked("disk full during soft-watermark checkpoint: " + err.Error())
+				e.metrics.DegradedWrites.Inc()
+				return fmt.Errorf("%w: %v", ErrDegraded, err)
+			}
+			// Any other checkpoint failure: the append below may still
+			// succeed; let it decide the statement's fate.
+		}
+	}
+	return nil
 }
 
 // finishWALLocked settles the WAL after the statement body ran. A
@@ -278,6 +393,9 @@ func (e *Engine) finishWALLocked(lsn uint64, applyErr error) {
 			// The record stays; replay will re-run the statement into the
 			// same deterministic failure, so recovery stays correct.
 			log.Printf("core: wal rollback of LSN %d: %v", lsn, err)
+			if b := e.dur.log.Broken(); b != nil {
+				e.degradeLocked("wal unusable after failed statement rollback: " + b.Error())
+			}
 		}
 		return
 	}
@@ -285,6 +403,9 @@ func (e *Engine) finishWALLocked(lsn uint64, applyErr error) {
 	if e.dur.every > 0 && e.dur.sinceCkpt >= e.dur.every {
 		if err := e.checkpointLocked(); err != nil {
 			log.Printf("core: automatic checkpoint: %v", err)
+			if errors.Is(err, syscall.ENOSPC) {
+				e.degradeLocked("disk full during automatic checkpoint: " + err.Error())
+			}
 		}
 	}
 }
@@ -308,7 +429,7 @@ func (e *Engine) Checkpoint() error {
 func (e *Engine) checkpointLocked() error {
 	lsn := e.dur.log.LastLSN()
 	path := filepath.Join(e.dur.dir, checkpointFile)
-	err := wal.WriteFileAtomicCrash(path, func(w io.Writer) error {
+	err := wal.WriteFileAtomicFS(e.dur.fs, path, func(w io.Writer) error {
 		return e.encodeSnapshotLocked(w, lsn)
 	}, e.dur.crash)
 	if err != nil {
@@ -343,6 +464,7 @@ func (e *Engine) WALFsyncPolicy() (wal.FsyncPolicy, bool) {
 // close. Mutating statements issued afterwards fail (wal.ErrClosed);
 // reads keep working. On a non-durable engine it is Close.
 func (e *Engine) Shutdown() error {
+	e.stopHealer()
 	var err error
 	e.mu.Lock()
 	if e.dur.log != nil {
@@ -358,6 +480,7 @@ func (e *Engine) Shutdown() error {
 // already has is what recovery will see. The engine must not be used
 // afterwards; recover with Open.
 func (e *Engine) Kill() {
+	e.stopHealer()
 	e.mu.Lock()
 	lg := e.dur.log
 	e.mu.Unlock()

@@ -50,6 +50,11 @@ var (
 	// panic; the full stack is logged through the standard logger. The
 	// engine survives, isolating one crashing query from the process.
 	ErrQueryPanic = errors.New("query aborted by internal panic")
+	// ErrDegraded reports a mutating statement rejected because the
+	// engine is in degraded read-only mode (health.go): the durability
+	// path is failing, reads keep serving, and a background probe is
+	// healing. Not retryable — distinct from admission shedding.
+	ErrDegraded = exec.ErrDegraded
 )
 
 // ctxErr maps a context's error state to the typed lifecycle errors.
@@ -128,6 +133,11 @@ type Engine struct {
 	// every mutating statement is logged before it applies. Guarded by mu's
 	// write side, like the catalog.
 	dur durState
+
+	// health is the disk-fault tolerance state machine (health.go):
+	// degraded read-only mode, the self-healing prober, and the snapshot
+	// behind SHOW HEALTH / the wire health command / healthz+readyz.
+	health healthState
 }
 
 // New creates an empty engine.
@@ -589,6 +599,13 @@ func (e *Engine) runShow(s *sql.Show) (*Result, error) {
 		res := &Result{Columns: []string{"name", "value"}}
 		for _, kv := range e.metrics.Snapshot(e.viewStatsLocked()) {
 			res.Rows = append(res.Rows, types.Row{types.NewString(kv.Name), types.NewInt(kv.Value)})
+		}
+		return res, nil
+	}
+	if s.What == "HEALTH" {
+		res := &Result{Columns: []string{"name", "value"}}
+		for _, p := range e.Health().Pairs() {
+			res.Rows = append(res.Rows, types.Row{types.NewString(p[0]), types.NewString(p[1])})
 		}
 		return res, nil
 	}

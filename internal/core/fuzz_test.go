@@ -52,6 +52,15 @@ func FuzzWALReplay(f *testing.F) {
 	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
 	f.Add(huge)
 
+	// A valid frame followed by a frame torn mid-length-prefix: the crash
+	// window where only 2 of the 4 length bytes reached the disk. Recovery
+	// must keep the first record and truncate the 2-byte stub.
+	one := append([]byte(nil), header...)
+	one = wal.AppendFrame(one, &wal.Record{LSN: 1, SQL: "CREATE TABLE t (id BIGINT PRIMARY KEY, s VARCHAR)"})
+	cut := len(one)
+	one = wal.AppendFrame(one, &wal.Record{LSN: 2, SQL: "INSERT INTO t VALUES (1, 'one')", Table: "t", NextSlot: 1})
+	f.Add(append([]byte(nil), one[:cut+2]...))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		path := filepath.Join(dir, walFile)

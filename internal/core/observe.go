@@ -78,6 +78,8 @@ func errClass(err error) int {
 		return metrics.ErrMemLimit
 	case errors.Is(err, ErrQueryPanic):
 		return metrics.ErrPanic
+	case errors.Is(err, ErrDegraded):
+		return metrics.ErrDegraded
 	default:
 		return metrics.ErrOther
 	}

@@ -81,6 +81,7 @@ func (e *Engine) StartStatistics(interval time.Duration) {
 // for statements afterwards; a durable one keeps serving reads but
 // rejects further mutations.
 func (e *Engine) Close() {
+	e.stopHealer()
 	e.statsMu.Lock()
 	e.stopStatsLocked()
 	e.statsMu.Unlock()

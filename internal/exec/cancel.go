@@ -26,6 +26,13 @@ var (
 	// ErrMemLimit reports the intermediate-result memory limit, the
 	// executor's analogue of VoltDB's temp-table limit.
 	ErrMemLimit = errors.New("intermediate-result memory limit exceeded")
+	// ErrDegraded reports a mutating statement rejected because the
+	// engine is in degraded read-only mode: its durability path (WAL or
+	// disk) is failing, reads keep serving, and a background probe is
+	// working to heal it. Unlike admission shedding this is NOT
+	// retryable — retrying hammers a sick disk; callers should back off
+	// until health reports the engine read-write again.
+	ErrDegraded = errors.New("engine degraded to read-only: durability unavailable")
 )
 
 // Bind attaches a context's cancellation signal to the execution context.

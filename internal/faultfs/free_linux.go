@@ -1,0 +1,15 @@
+//go:build linux
+
+package faultfs
+
+import "syscall"
+
+// osFree asks the kernel how many bytes an unprivileged writer may still
+// allocate under dir.
+func osFree(dir string) (int64, bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, false
+	}
+	return int64(st.Bavail) * int64(st.Bsize), true
+}

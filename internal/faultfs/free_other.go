@@ -1,0 +1,7 @@
+//go:build !linux
+
+package faultfs
+
+// osFree has no portable implementation off Linux; the engine skips its
+// disk-full watermarks when the filesystem cannot report free space.
+func osFree(dir string) (int64, bool) { return 0, false }

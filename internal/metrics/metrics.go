@@ -28,6 +28,15 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value reads the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable atomic level (0/1 health flags, watermark states).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram is a bounded log2-bucket latency histogram: bucket i counts
 // observations in [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs, the last
 // bucket absorbs everything above its floor). Fixed size, no allocation,
@@ -131,12 +140,13 @@ const (
 	ErrCanceled
 	ErrMemLimit
 	ErrPanic
+	ErrDegraded
 	ErrOther
 	numErrClasses
 )
 
 var errClassNames = [numErrClasses]string{
-	"timeout", "canceled", "mem_limit", "panic", "other",
+	"timeout", "canceled", "mem_limit", "panic", "degraded", "other",
 }
 
 // Metrics is the engine-wide registry. All fields are safe for concurrent
@@ -179,6 +189,21 @@ type Metrics struct {
 	WALFsyncs      Counter
 	WALCheckpoints Counter
 	WALRecoveries  Counter
+
+	// WALRollbacks counts logged statements whose record was removed
+	// again because the statement failed to apply (log-before-apply).
+	WALRollbacks Counter
+
+	// Disk-fault tolerance: DurabilityDegraded is 1 while the engine is
+	// in degraded read-only mode (or probing to leave it), 0 when the
+	// durability path is healthy. HealAttempts counts background heal
+	// probes, Heals counts successful returns to read-write, and
+	// DegradedWrites counts mutating statements rejected with
+	// ErrDegraded while degraded.
+	DurabilityDegraded Gauge
+	HealAttempts       Counter
+	Heals              Counter
+	DegradedWrites     Counter
 }
 
 // CountStatement records one completed statement of the given kind with
@@ -263,6 +288,11 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 		KV{"wal.fsyncs", m.WALFsyncs.Value()},
 		KV{"wal.checkpoints", m.WALCheckpoints.Value()},
 		KV{"wal.recoveries", m.WALRecoveries.Value()},
+		KV{"wal.rollbacks", m.WALRollbacks.Value()},
+		KV{"durability.degraded", m.DurabilityDegraded.Value()},
+		KV{"durability.heal_attempts", m.HealAttempts.Value()},
+		KV{"durability.heals", m.Heals.Value()},
+		KV{"durability.degraded_writes", m.DegradedWrites.Value()},
 	)
 	for _, gv := range views {
 		p := "graphview." + gv.Name + "."

@@ -82,6 +82,10 @@ type ServerError struct {
 	Msg string
 	// Retryable marks a shed statement that never started executing.
 	Retryable bool
+	// Degraded marks a write the engine rejected in degraded read-only
+	// mode. Terminal: the retry loop never re-submits it (a retry storm
+	// against a sick disk helps nobody), regardless of Retryable.
+	Degraded bool
 }
 
 func (e *ServerError) Error() string { return "server: " + e.Msg }
@@ -90,7 +94,10 @@ func (e *ServerError) Error() string { return "server: " + e.Msg }
 // errors come back as *ServerError. Statements shed by the server's
 // admission control (retryable errors) are retried up to MaxRetries times
 // with exponential backoff; other failures are never retried, since the
-// statement may have executed.
+// statement may have executed. Degraded-mode write rejections are
+// terminal even though the statement never started: the disk is sick, and
+// the health surface — not a retry loop — says when writes are welcome
+// again.
 func (c *Client) Exec(query string) (*Result, error) {
 	return c.ExecTimeout(query, c.opts.RequestTimeout)
 }
@@ -104,7 +111,7 @@ func (c *Client) ExecTimeout(query string, timeout time.Duration) (*Result, erro
 	for attempt := 0; ; attempt++ {
 		res, err := c.once(query, timeout)
 		var se *ServerError
-		if err == nil || !errors.As(err, &se) || !se.Retryable || attempt >= c.opts.MaxRetries {
+		if err == nil || !errors.As(err, &se) || !se.Retryable || se.Degraded || attempt >= c.opts.MaxRetries {
 			return res, err
 		}
 		// Full jitter: sleep a uniform fraction of the doubling backoff so
@@ -128,6 +135,24 @@ func (c *Client) Metrics() (map[string]int64, error) {
 	for _, row := range res.Rows {
 		if len(row) == 2 {
 			out[row[0].S] = row[1].I
+		}
+	}
+	return out, nil
+}
+
+// Health fetches the server's durability health snapshot via the HEALTH
+// wire command. Like Metrics it bypasses admission control, so it answers
+// while the server sheds load — and, critically, while the engine is
+// degraded.
+func (c *Client) Health() (map[string]string, error) {
+	res, err := c.roundTrip(Request{Cmd: "health"}, c.opts.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(res.Rows))
+	for _, row := range res.Rows {
+		if len(row) == 2 {
+			out[row[0].S] = row[1].S
 		}
 	}
 	return out, nil
@@ -166,7 +191,7 @@ func (c *Client) roundTrip(req Request, timeout time.Duration) (*Result, error) 
 		return nil, fmt.Errorf("receive: %w", err)
 	}
 	if resp.Error != "" {
-		return nil, &ServerError{Msg: resp.Error, Retryable: resp.Retryable}
+		return nil, &ServerError{Msg: resp.Error, Retryable: resp.Retryable, Degraded: resp.Degraded}
 	}
 	out := &Result{Columns: resp.Columns, Affected: resp.Affected}
 	for _, wire := range resp.Rows {

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/faultfs"
+	"grfusion/internal/faultnet"
+	"grfusion/internal/wal"
+)
+
+// startDegradableServer brings up a server over a durable engine whose
+// storage layer is a faultfs.Faulty, behind a faultnet listener (mild
+// schedule: delays and chunked writes, no resets, so round trips stay
+// countable). Returns the engine, the injector and the address.
+func startDegradableServer(t *testing.T) (*core.Engine, *faultfs.Faulty, string) {
+	t.Helper()
+	ffs := faultfs.NewFaulty(nil, 99)
+	var opts core.Options
+	opts.Durability = core.Durability{
+		Dir: t.TempDir(), Fsync: wal.FsyncAlways, FS: ffs,
+		HealBase: time.Millisecond, HealMax: 8 * time.Millisecond,
+	}
+	eng, _, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(eng, Config{Logger: quietLogger()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := faultnet.Wrap(ln, faultnet.Options{
+		Seed:       99,
+		MaxDelay:   200 * time.Microsecond,
+		WriteChunk: 7,
+	})
+	go srv.Serve(fln)
+	t.Cleanup(srv.Shutdown)
+	return eng, ffs, fln.Addr().String()
+}
+
+// TestDegradedWriteNotRetried is the retry-policy classification test:
+// a client configured to retry shed statements five times must submit a
+// degraded-mode write exactly once — the rejection is terminal, so there
+// is no retry storm against a sick disk. Round trips are counted on the
+// server via the by-kind statement counters.
+func TestDegradedWriteNotRetried(t *testing.T) {
+	_, ffs, addr := startDegradableServer(t)
+	c, err := DialWith(addr, Options{MaxRetries: 5, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE T (a BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the disk: the next write degrades the engine.
+	ffs.SetRate(faultfs.OpWrite, 1)
+	ffs.SetRate(faultfs.OpTruncate, 1)
+	_, err = c.Exec(`INSERT INTO T VALUES (1)`)
+	var se *ServerError
+	if err == nil || !asServerError(err, &se) {
+		t.Fatalf("degraded insert: err = %v, want *ServerError", err)
+	}
+	if !se.Degraded {
+		t.Fatalf("degraded insert not classified: %+v", se)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["statements.insert"] - base["statements.insert"]; got != 1 {
+		t.Fatalf("degrading insert reached the server %d times, want exactly 1", got)
+	}
+	if got := m["durability.degraded_writes"]; got != 1 {
+		t.Fatalf("durability.degraded_writes = %d, want 1", got)
+	}
+
+	// A second write while degraded: also exactly one round trip.
+	if _, err := c.Exec(`INSERT INTO T VALUES (2)`); err == nil || !asServerError(err, &se) || !se.Degraded {
+		t.Fatalf("second degraded insert: err = %v, want degraded ServerError", err)
+	}
+	m, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["statements.insert"] - base["statements.insert"]; got != 2 {
+		t.Fatalf("two degraded inserts reached the server %d times, want exactly 2", got)
+	}
+	if got := m["durability.degraded_writes"]; got != 2 {
+		t.Fatalf("durability.degraded_writes = %d, want 2", got)
+	}
+
+	// After heal the same client writes normally — the terminal error was
+	// about the statement, not the connection.
+	ffs.Calm()
+	waitClientHealthy(t, c, 5*time.Second)
+	if _, err := c.Exec(`INSERT INTO T VALUES (1)`); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+}
+
+func waitClientHealthy(t *testing.T, c *Client, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		h, err := c.Health()
+		if err != nil {
+			t.Fatalf("health command: %v", err)
+		}
+		if h["state"] == "healthy" {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("server did not report healthy within %v", timeout)
+}
+
+// TestHealthSurfacesAgree drives one degrade → heal cycle and checks all
+// four health surfaces — SHOW HEALTH over SQL, the health wire command,
+// GET /healthz, GET /readyz — against each other at every stage.
+func TestHealthSurfacesAgree(t *testing.T) {
+	eng, ffs, addr := startDegradableServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hs := httptest.NewServer(MetricsMux(eng))
+	defer hs.Close()
+
+	showHealth := func() map[string]string {
+		t.Helper()
+		res, err := c.Exec(`SHOW HEALTH`)
+		if err != nil {
+			t.Fatalf("SHOW HEALTH: %v", err)
+		}
+		out := make(map[string]string, len(res.Rows))
+		for _, r := range res.Rows {
+			out[r[0].S] = r[1].S
+		}
+		return out
+	}
+	healthz := func() map[string]string {
+		t.Helper()
+		resp, err := hs.Client().Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("/healthz status = %d, want 200 (liveness never fails)", resp.StatusCode)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("/healthz body: %v", err)
+		}
+		return out
+	}
+	readyzStatus := func() int {
+		t.Helper()
+		resp, err := hs.Client().Get(hs.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// expect checks one stage on all four surfaces. While faults are
+	// active the engine flips between degraded and healing as probes run,
+	// so the assertion is on readiness, not the exact state string.
+	expect := func(stage string, ready bool) {
+		t.Helper()
+		wantReady := "false"
+		if ready {
+			wantReady = "true"
+		}
+		for name, m := range map[string]map[string]string{"SHOW HEALTH": showHealth(), "wire health": mustHealth(t, c), "/healthz": healthz()} {
+			if m["ready"] != wantReady {
+				t.Fatalf("%s: %s reports ready=%q, want %q (state %q)", stage, name, m["ready"], wantReady, m["state"])
+			}
+			if (m["state"] == "healthy") != ready {
+				t.Fatalf("%s: %s reports state=%q, ready should be %v", stage, name, m["state"], ready)
+			}
+		}
+		wantStatus := 200
+		if !ready {
+			wantStatus = 503
+		}
+		if got := readyzStatus(); got != wantStatus {
+			t.Fatalf("%s: /readyz status = %d, want %d", stage, got, wantStatus)
+		}
+	}
+
+	if _, err := c.Exec(`CREATE TABLE T (a BIGINT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	expect("healthy", true)
+
+	ffs.SetRate(faultfs.OpWrite, 1)
+	ffs.SetRate(faultfs.OpTruncate, 1)
+	var se *ServerError
+	if _, err := c.Exec(`INSERT INTO T VALUES (1)`); err == nil || !asServerError(err, &se) || !se.Degraded {
+		t.Fatalf("degrading insert: err = %v, want degraded ServerError", err)
+	}
+	expect("degraded", false)
+
+	ffs.Calm()
+	waitClientHealthy(t, c, 5*time.Second)
+	expect("healed", true)
+	if _, err := c.Exec(`INSERT INTO T VALUES (1)`); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+}
+
+func mustHealth(t *testing.T, c *Client) map[string]string {
+	t.Helper()
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("health command: %v", err)
+	}
+	return h
+}

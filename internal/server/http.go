@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"grfusion/internal/core"
@@ -28,6 +29,42 @@ func MetricsHandler(eng *core.Engine) http.Handler {
 	})
 }
 
+// HealthzHandler serves the engine's durability health as JSON. It always
+// answers 200: liveness is "the process responds", not "the disk works".
+// The body carries the full health snapshot so operators can see why a
+// degraded engine is degraded without a SQL connection.
+func HealthzHandler(eng *core.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := eng.Health()
+		out := make(map[string]string, 8)
+		for _, p := range h.Pairs() {
+			out[p[0]] = p[1]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}
+
+// ReadyzHandler serves readiness: 200 while the engine accepts writes, 503
+// once it has degraded to read-only (load balancers should drain write
+// traffic; reads still work and /healthz stays green).
+func ReadyzHandler(eng *core.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := eng.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]string{
+			"ready":  strconv.FormatBool(h.Ready()),
+			"state":  h.State.String(),
+			"reason": h.Reason,
+		})
+	})
+}
+
 // expvar names are process-global and Publish panics on duplicates, so
 // only the first engine is published no matter how many servers a process
 // (or test binary) creates.
@@ -48,12 +85,15 @@ func PublishExpvar(eng *core.Engine) {
 	})
 }
 
-// MetricsMux bundles both HTTP surfaces: /metrics (flat JSON) and
-// /debug/vars (expvar).
+// MetricsMux bundles the HTTP surfaces: /metrics (flat JSON),
+// /debug/vars (expvar), /healthz (liveness + health detail, always 200)
+// and /readyz (readiness, 503 while degraded).
 func MetricsMux(eng *core.Engine) *http.ServeMux {
 	PublishExpvar(eng)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(eng))
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/healthz", HealthzHandler(eng))
+	mux.Handle("/readyz", ReadyzHandler(eng))
 	return mux
 }

@@ -59,8 +59,10 @@ const maxRequestBytes = 16 << 20
 type Request struct {
 	Query string `json:"query,omitempty"`
 	// Cmd names a protocol command. "metrics" returns the engine's metrics
-	// snapshot as name/value rows; it skips admission control so the server
-	// stays observable under overload.
+	// snapshot as name/value rows; "health" returns the durability health
+	// snapshot. Both skip admission control so the server stays observable
+	// under overload — health in particular must answer while the engine
+	// is degraded and shedding.
 	Cmd string `json:"cmd,omitempty"`
 	// TimeoutMS bounds this statement's execution in milliseconds; zero
 	// means no client-side bound (the server's QueryTimeout, if any, still
@@ -77,6 +79,11 @@ type Response struct {
 	// Retryable marks an error the client may safely retry because the
 	// statement was never started (e.g. shed by admission control).
 	Retryable bool `json:"retryable,omitempty"`
+	// Degraded marks a write rejected because the engine is in degraded
+	// read-only mode (core.ErrDegraded). Terminal for the client's retry
+	// loop: retrying would hammer a sick disk — back off until the
+	// health surface reports the engine read-write again.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Config tunes the server's robustness envelope. The zero value imposes no
@@ -359,8 +366,14 @@ func (s *Server) command(req *Request) Response {
 			out.Rows = append(out.Rows, []any{kv.Name, json.Number(strconv.FormatInt(kv.Value, 10))})
 		}
 		return out
+	case "health":
+		out := Response{Columns: []string{"name", "value"}}
+		for _, p := range s.eng.Health().Pairs() {
+			out.Rows = append(out.Rows, []any{p[0], p[1]})
+		}
+		return out
 	default:
-		return Response{Error: fmt.Sprintf("unknown command %q (supported: metrics)", req.Cmd)}
+		return Response{Error: fmt.Sprintf("unknown command %q (supported: metrics, health)", req.Cmd)}
 	}
 }
 
@@ -392,7 +405,7 @@ func (s *Server) execute(req *Request) Response {
 	}
 	res, err := s.eng.ExecuteContext(ctx, req.Query)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Degraded: errors.Is(err, core.ErrDegraded)}
 	}
 	out := Response{Columns: res.Columns, Affected: res.Affected}
 	for _, row := range res.Rows {

@@ -229,7 +229,8 @@ func (*Explain) stmt() {}
 // Show is SHOW TABLES / SHOW GRAPH VIEWS / SHOW METRICS, a small
 // introspection aid for the interactive shell.
 type Show struct {
-	// What is "TABLES", "GRAPH VIEWS", "MATERIALIZED VIEWS" or "METRICS".
+	// What is "TABLES", "GRAPH VIEWS", "MATERIALIZED VIEWS", "METRICS"
+	// or "HEALTH".
 	What string
 }
 

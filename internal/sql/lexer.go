@@ -63,7 +63,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true,
 	"SHOW": true, "TABLES": true, "VIEWS": true,
 	"EXPLAIN": true, "MATERIALIZED": true,
-	"ANALYZE": true, "METRICS": true,
+	"ANALYZE": true, "METRICS": true, "HEALTH": true,
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings or

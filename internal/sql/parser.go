@@ -209,8 +209,10 @@ func (p *parser) parseStatement() (Statement, error) {
 			return &Show{What: "MATERIALIZED VIEWS"}, nil
 		case p.acceptKeyword("METRICS"):
 			return &Show{What: "METRICS"}, nil
+		case p.acceptKeyword("HEALTH"):
+			return &Show{What: "HEALTH"}, nil
 		default:
-			return nil, p.errf("expected TABLES, GRAPH VIEWS, MATERIALIZED VIEWS or METRICS after SHOW")
+			return nil, p.errf("expected TABLES, GRAPH VIEWS, MATERIALIZED VIEWS, METRICS or HEALTH after SHOW")
 		}
 	default:
 		return nil, p.errf("unsupported statement %s", t)

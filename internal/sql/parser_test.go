@@ -561,6 +561,18 @@ func TestShowMetricsParse(t *testing.T) {
 	}
 }
 
+func TestShowHealthParse(t *testing.T) {
+	if s := parseOne(t, `SHOW HEALTH`).(*Show); s.What != "HEALTH" {
+		t.Errorf("%+v", s)
+	}
+	if s := parseOne(t, `show health`).(*Show); s.What != "HEALTH" {
+		t.Errorf("lowercase: %+v", s)
+	}
+	if _, err := Parse(`SHOW DISKS`); err == nil {
+		t.Error("SHOW DISKS accepted")
+	}
+}
+
 func TestSetSlowQueryParse(t *testing.T) {
 	s := parseOne(t, `SET SLOW_QUERY = 25`).(*Set)
 	if s.Name != "SLOW_QUERY" || s.Value != 25 {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"grfusion/internal/faultfs"
 )
 
 // CrashPoint names a stage of the atomic-write protocol; the chaos tests
@@ -34,20 +36,31 @@ type CrashFunc func(p CrashPoint) error
 // complete file — never a torn mix. On error the previous file is intact
 // and the temp file is removed.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
-	return WriteFileAtomicCrash(path, write, nil)
+	return WriteFileAtomicFS(faultfs.OS, path, write, nil)
 }
 
 // WriteFileAtomicCrash is WriteFileAtomic with crash injection (tests
 // pass a CrashFunc; production passes nil).
 func WriteFileAtomicCrash(path string, write func(io.Writer) error, crash CrashFunc) error {
+	return WriteFileAtomicFS(faultfs.OS, path, write, crash)
+}
+
+// WriteFileAtomicFS is the full protocol over an injectable storage layer
+// (fsys nil means the real filesystem): the checkpoint writer passes the
+// engine's faultfs so disk faults reach every stage — temp-file creation,
+// the buffered content writes, the fsync, and the rename.
+func WriteFileAtomicFS(fsys faultfs.FS, path string, write func(io.Writer) error, crash CrashFunc) error {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	bw := bufio.NewWriter(f)
@@ -74,8 +87,8 @@ func WriteFileAtomicCrash(path string, write func(io.Writer) error, crash CrashF
 			return err
 		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	if crash != nil {
@@ -83,19 +96,8 @@ func WriteFileAtomicCrash(path string, write func(io.Writer) error, crash CrashF
 			return err
 		}
 	}
-	syncDir(filepath.Dir(path))
+	fsys.SyncDir(filepath.Dir(path))
 	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-// Best effort: some platforms/filesystems reject directory fsync.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
 }
 
 // Exists reports whether path names an existing file.

@@ -3,10 +3,13 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"grfusion/internal/faultfs"
 )
 
 // FsyncPolicy selects when appends reach stable storage.
@@ -83,10 +86,18 @@ type Options struct {
 	// OnAppend, when set, is called after every successful append with
 	// the frame size in bytes (metrics).
 	OnAppend func(bytes int)
+	// OnRollback, when set, is called after every successful RollbackLast
+	// (metrics: a logged statement failed to apply and its record was
+	// removed again).
+	OnRollback func()
 	// FaultHook, when set, is consulted before file operations; returning
 	// a non-nil error injects that failure. op is one of "write", "sync",
 	// "rotate". Tests only.
 	FaultHook func(op string) error
+	// FS is the storage layer the log operates on; nil means the real
+	// filesystem (faultfs.OS). The chaos tests pass a faultfs.Faulty to
+	// inject EIO/ENOSPC/short writes/fsync failures beneath the log.
+	FS faultfs.FS
 }
 
 // Log is the append side of the WAL. All methods are safe for concurrent
@@ -94,7 +105,8 @@ type Options struct {
 // only the interval-sync goroutine runs concurrently.
 type Log struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
+	fs      faultfs.FS
 	path    string
 	opts    Options
 	nextLSN uint64
@@ -127,7 +139,10 @@ func Open(path string, opts Options) (*Log, *ScanResult, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 50 * time.Millisecond
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,7 +154,7 @@ func Open(path string, opts Options) (*Log, *ScanResult, error) {
 	if DebugDropTailRecord && len(res.Records) > 0 {
 		res.Records = res.Records[:len(res.Records)-1]
 	}
-	l := &Log{f: f, path: path, opts: opts, nextLSN: 1, size: res.ValidBytes}
+	l := &Log{f: f, fs: opts.FS, path: path, opts: opts, nextLSN: 1, size: res.ValidBytes}
 	if n := len(res.Records); n > 0 {
 		l.nextLSN = res.Records[n-1].LSN + 1
 	}
@@ -287,7 +302,15 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	if err := l.fault("write"); err != nil {
 		return 0, fmt.Errorf("wal append: %w", err)
 	}
-	if _, err := l.f.Write(frame); err != nil {
+	// A short write — n < len(frame) — can come back with err == nil from
+	// a pathological filesystem. Treating it as success would let size
+	// accounting and OnAppend drift from what is actually on disk, so it
+	// is an error like any other partial write, and the truncate below
+	// removes whatever prefix landed.
+	if n, err := l.f.Write(frame); err != nil || n != len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		l.rollbackLocked(err)
 		return 0, fmt.Errorf("wal append: %w", err)
 	}
@@ -341,9 +364,35 @@ func (l *Log) RollbackLast(lsn uint64) error {
 	l.lastFrameLen = 0
 	l.nextLSN--
 	if l.opts.Fsync == FsyncAlways {
-		l.f.Sync() // best effort: make the removal as durable as the append was
+		// Make the removal as durable as the append was. On failure the
+		// rollback itself succeeded — the record is gone from the file —
+		// but the truncation may not have reached stable storage yet, so
+		// mark the log dirty and let the next interval/explicit sync (or
+		// the FsyncAlways sync of the next append) retry.
+		if err := l.f.Sync(); err != nil {
+			l.dirty = true
+		} else {
+			l.dirty = false
+			if l.opts.OnSync != nil {
+				l.opts.OnSync()
+			}
+		}
+	}
+	if l.opts.OnRollback != nil {
+		l.opts.OnRollback()
 	}
 	return nil
+}
+
+// Broken returns the unrecoverable-append error that disabled the log, or
+// nil while the log is usable. A broken log refuses appends until Rotate
+// replaces the file; the engine uses this to distinguish a transient
+// injected fault (statement aborted, log fine) from a log that can no
+// longer accept any write (degrade to read-only and heal).
+func (l *Log) Broken() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
 }
 
 // rollbackLocked undoes a failed append by truncating back to the last
@@ -414,25 +463,28 @@ func (l *Log) Rotate() error {
 		return fmt.Errorf("wal rotate: %w", err)
 	}
 	tmp := l.path + ".tmp"
-	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal rotate: %w", err)
 	}
 	cleanup := func(err error) error {
 		nf.Close()
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return fmt.Errorf("wal rotate: %w", err)
 	}
-	if _, err := nf.Write(appendHeader(nil)); err != nil {
+	if n, err := nf.Write(appendHeader(nil)); err != nil || n != HeaderSize {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		return cleanup(err)
 	}
 	if err := nf.Sync(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
 		return cleanup(err)
 	}
-	syncDir(filepath.Dir(l.path))
+	l.fs.SyncDir(filepath.Dir(l.path))
 	l.f.Close()
 	l.f = nf
 	l.size = HeaderSize
