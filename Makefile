@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics csr analytics oracle chaos diskchaos recover durbench fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr analytics mvcc oracle chaos diskchaos recover durbench fmt vet clean
 
 all: build test
 
@@ -61,10 +61,25 @@ recover:
 durbench:
 	$(GO) run ./cmd/grbench -exp durability -json BENCH_durability.json
 
-# Sequential-vs-parallel traversal timings; emits the perf-trajectory
-# artifact CI uploads on every run.
+# Sequential-vs-parallel traversal timings plus the MVCC mixed-workload
+# storm; emits the perf-trajectory artifact CI uploads on every run and
+# gates it against the committed baseline (see `make mvcc`).
 bench:
-	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json
+	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json -baseline BENCH_concurrency_baseline.json
+
+# MVCC storm lane: the stalled-reader/deadline regression tests and the
+# versioned-read battery under the race detector, the race-gated
+# mixed-workload storm (readers + analytics TVFs vs a sustained DML
+# writer), then the concurrency benchmark with its regression gate — the
+# run fails if read p99 under the write storm leaves 2x of the no-writer
+# baseline or regresses past the committed BENCH_concurrency_baseline.json
+# floor.
+mvcc:
+	$(GO) test -race -v -timeout 8m \
+		-run 'TestStalledReader|TestExpiredReader|TestVersioned|TestPreparedReplans|TestReadOnlyDispatch|TestMVCC|TestVersionRegistry|TestConcurrent' \
+		./internal/core
+	$(GO) test -race -v -timeout 8m -run 'TestMVCCStorm' ./internal/bench
+	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json -baseline BENCH_concurrency_baseline.json
 
 # Observability overhead: proves the metrics layer is free when idle and
 # that armed slow-query instrumentation stays within a few percent on real

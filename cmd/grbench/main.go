@@ -44,7 +44,7 @@ func main() {
 		workers  = flag.Int("workers", 2, "oracle: engine worker-pool size")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.String("json", "", "also write rows with run metadata to this JSON file (e.g. BENCH_concurrency.json)")
-		baseline = flag.String("baseline", "", "csr/analytics: regression-gate this run against a committed baseline JSON (exit 1 on >10% speedup loss or steady-state allocations)")
+		baseline = flag.String("baseline", "", "csr/analytics/concurrency: regression-gate this run against a committed baseline JSON (exit 1 on >10% speedup loss, steady-state allocations, or a storm read-p99 ratio past the MVCC ceiling)")
 	)
 	flag.Parse()
 	if *expAlias != "" {
@@ -96,14 +96,17 @@ func main() {
 	}
 	if *baseline != "" {
 		check := bench.CheckCSRBaseline
-		if *exp == "analytics" {
+		switch *exp {
+		case "analytics":
 			check = bench.CheckAnalyticsBaseline
+		case "concurrency":
+			check = bench.CheckConcurrencyBaseline
 		}
 		if err := check(*baseline, rows, 0.10); err != nil {
 			fmt.Fprintf(os.Stderr, "grbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s gate: no speedup regression vs %s, 0 steady-state allocs\n", *exp, *baseline)
+		fmt.Printf("%s gate: no regression vs %s\n", *exp, *baseline)
 	}
 }
 

@@ -132,6 +132,10 @@ func Concurrency(cfg Config) []Row {
 		rows = append(rows, Row{Experiment: "concurrency", Dataset: wl.dataset,
 			System: "grfusion", Param: wl.name, Metric: "paths", Value: wantCount})
 	}
+	// MVCC mixed-workload storm: read tail latency with and without a
+	// sustained DML writer (see mvcc.go). These rows feed the regression
+	// gate CheckConcurrencyBaseline enforces.
+	rows = append(rows, mvccStorm(cfg)...)
 	return rows
 }
 

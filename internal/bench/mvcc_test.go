@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMVCCStormMixedWorkload is the race-gated storm lane: readers (path
+// probes + analytics TVFs) run concurrently with a sustained DML writer on
+// one engine, so under -race it doubles as a data-race detector for the
+// MVCC read path while validating the row shape the gate consumes.
+func TestMVCCStormMixedWorkload(t *testing.T) {
+	cfg := tiny()
+	rows := mvccStorm(cfg)
+	want := map[string]bool{
+		"mixed nowriter|read_p50_ms": false,
+		"mixed nowriter|read_p99_ms": false,
+		"mixed storm|read_p50_ms":    false,
+		"mixed storm|read_p99_ms":    false,
+		"tvf nowriter|read_p99_ms":   false,
+		"tvf storm|read_p99_ms":      false,
+		"mixed|p99_ratio":            false,
+		"mixed|write_ops_per_sec":    false,
+	}
+	for _, r := range rows {
+		if strings.HasPrefix(r.Note, "ABORT") {
+			t.Fatalf("storm aborted: %+v", r)
+		}
+		key := r.Param + "|" + r.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected row %s", key)
+			continue
+		}
+		want[key] = true
+		if r.Metric != "write_ops_per_sec" && r.Value <= 0 {
+			t.Errorf("%s: non-positive value %g", key, r.Value)
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("missing row %s", key)
+		}
+	}
+}
+
+func TestQuantileMS(t *testing.T) {
+	lat := []float64{5, 1, 3, 2, 4}
+	if got := quantileMS(lat, 0.5); got != 3 {
+		t.Errorf("p50 = %g, want 3", got)
+	}
+	if got := quantileMS(lat, 0.99); got != 5 {
+		t.Errorf("p99 = %g, want 5", got)
+	}
+	if got := quantileMS(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+}
+
+// stormRows builds a plausible mixed-workload row set with the given ratio.
+func stormRows(ratio float64) []Row {
+	mk := func(param, metric string, v float64) Row {
+		return Row{Experiment: "concurrency", Dataset: "twitter", System: "grfusion",
+			Param: param, Metric: metric, Value: v}
+	}
+	return []Row{
+		mk("mixed nowriter", "read_p50_ms", 0.2),
+		mk("mixed nowriter", "read_p99_ms", 1.0),
+		mk("mixed storm", "read_p50_ms", 0.3),
+		mk("mixed storm", "read_p99_ms", ratio),
+		mk("mixed", "p99_ratio", ratio),
+		mk("mixed", "write_ops_per_sec", 500),
+	}
+}
+
+func TestCheckConcurrencyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(f, "concurrency", tiny(), stormRows(1.2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := CheckConcurrencyBaseline(path, stormRows(1.5), 0.10); err != nil {
+		t.Errorf("ratio 1.5 under 2x ceiling should pass: %v", err)
+	}
+	if err := CheckConcurrencyBaseline(path, stormRows(2.5), 0.10); err == nil {
+		t.Error("ratio 2.5 past the 2x ceiling should fail")
+	} else if !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := CheckConcurrencyBaseline(path, stormRows(1.5)[:4], 0.10); err == nil {
+		t.Error("run without a p99_ratio row should fail")
+	}
+	aborted := stormRows(1.5)
+	aborted[3].Note = "ABORT: boom"
+	if err := CheckConcurrencyBaseline(path, aborted, 0.10); err == nil {
+		t.Error("aborted storm measurement should fail the gate")
+	}
+	if err := CheckConcurrencyBaseline(filepath.Join(dir, "missing.json"), stormRows(1.5), 0.10); err == nil {
+		t.Error("missing baseline file should fail")
+	}
+
+	// A committed ratio above the hard ceiling raises the bound by
+	// tolerance instead of instantly failing every future run.
+	f2, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(f2, "concurrency", tiny(), stormRows(2.4)); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if err := CheckConcurrencyBaseline(path, stormRows(2.5), 0.10); err != nil {
+		t.Errorf("ratio 2.5 under committed 2.4*1.1 should pass: %v", err)
+	}
+	if err := CheckConcurrencyBaseline(path, stormRows(2.7), 0.10); err == nil {
+		t.Error("ratio 2.7 past committed 2.4*1.1 should fail")
+	}
+}

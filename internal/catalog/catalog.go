@@ -40,6 +40,37 @@ func New() *Catalog {
 	}
 }
 
+// Clone returns a copy of the catalog for copy-on-write versioning: the
+// registry maps (and dependency slices, which DropGraphView edits in
+// place) are copied, the registered objects themselves are shared. DDL
+// clones the catalog before mutating it so readers pinned to the previous
+// engine version keep a stable registry.
+func (c *Catalog) Clone() *Catalog {
+	nc := &Catalog{
+		tables:   make(map[string]*storage.Table, len(c.tables)),
+		views:    make(map[string]*GraphView, len(c.views)),
+		deps:     make(map[string][]*GraphView, len(c.deps)),
+		matviews: make(map[string]*MatView, len(c.matviews)),
+		matDeps:  make(map[string][]*MatView, len(c.matDeps)),
+	}
+	for k, v := range c.tables {
+		nc.tables[k] = v
+	}
+	for k, v := range c.views {
+		nc.views[k] = v
+	}
+	for k, v := range c.deps {
+		nc.deps[k] = append([]*GraphView(nil), v...)
+	}
+	for k, v := range c.matviews {
+		nc.matviews[k] = v
+	}
+	for k, v := range c.matDeps {
+		nc.matDeps[k] = append([]*MatView(nil), v...)
+	}
+	return nc
+}
+
 // CreateTable registers a new table.
 func (c *Catalog) CreateTable(t *storage.Table) error {
 	key := strings.ToLower(t.Name())

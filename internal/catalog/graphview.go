@@ -3,9 +3,7 @@ package catalog
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"grfusion/internal/graph"
 	"grfusion/internal/storage"
@@ -75,16 +73,22 @@ type GraphView struct {
 	// predate heavy DML (see FreshStats).
 	maintOps atomic.Int64
 
-	// csr caches the immutable CSR read snapshot of G. It is built lazily
-	// on the first CSR-layout traversal after a topology change and keyed
-	// on the graph's version counter, so DML never pays for it and a query
-	// can never observe a stale snapshot (CSR revalidates before reuse).
-	csr        atomic.Pointer[graph.CSR]
-	csrMu      sync.Mutex
+	// CSR snapshot counters. The cache itself lives on each graph.Graph
+	// instance (graph.CSRSnapshot), so readers pinned to different
+	// topology versions each retain their own snapshot instead of
+	// thrashing one shared slot; the view aggregates build/hit counters
+	// across versions and remembers the latest snapshot's size.
 	csrBuilds  atomic.Int64
 	csrBuildNS atomic.Int64
 	csrHits    atomic.Int64
 	csrMisses  atomic.Int64
+	csrBytes   atomic.Int64
+
+	// sharedG marks the live topology as aliased by a published engine
+	// version: the first maintenance mutation after publish clones it
+	// (ensurePrivateG) so pinned readers never observe the change.
+	// Writer-side state guarded by the engine write lock.
+	sharedG bool
 }
 
 // NewGraphView validates a definition against its source tables and builds
@@ -252,40 +256,52 @@ func intAttr(row types.Row, pos int, what string) (int64, error) {
 	return v.I, nil
 }
 
-// CSR returns a CSR snapshot of the current topology, building (and
-// caching) one if the cache is missing or stale. Callers must hold the
-// engine's statement lock (either side): the freshness check and a
-// potential rebuild read the live topology. Concurrent readers share one
-// build via csrMu; the snapshot itself is immutable and safe to traverse
-// from any number of goroutines.
-func (gv *GraphView) CSR() *graph.CSR {
-	if c := gv.csr.Load(); c != nil && c.Fresh(gv.G) {
-		gv.csrHits.Add(1)
-		return c
-	}
-	gv.csrMu.Lock()
-	defer gv.csrMu.Unlock()
-	if c := gv.csr.Load(); c != nil && c.Fresh(gv.G) {
-		gv.csrHits.Add(1)
-		return c
-	}
-	gv.csrMisses.Add(1)
-	start := time.Now()
-	c := graph.BuildCSR(gv.G)
-	gv.csrBuilds.Add(1)
-	gv.csrBuildNS.Add(time.Since(start).Nanoseconds())
-	gv.csr.Store(c)
+// CSR returns a CSR snapshot of the current live topology, building (and
+// caching) one if the graph's cache is missing or stale. Writer-side
+// callers hold the engine lock; lock-free readers use a pinned
+// GraphViewAt's CSR instead. The snapshot itself is immutable and safe to
+// traverse from any number of goroutines.
+func (gv *GraphView) CSR() *graph.CSR { return gv.CSRFor(gv.G) }
+
+// CSRFor returns a CSR snapshot of the given topology instance (live or a
+// pinned version), folding cache hits, builds, and the snapshot size into
+// this view's counters.
+func (gv *GraphView) CSRFor(g *graph.Graph) *graph.CSR {
+	c := g.CSRSnapshot(func(hit bool, buildNS int64) {
+		if hit {
+			gv.csrHits.Add(1)
+			return
+		}
+		gv.csrMisses.Add(1)
+		gv.csrBuilds.Add(1)
+		gv.csrBuildNS.Add(buildNS)
+	})
+	gv.csrBytes.Store(c.ApproxBytes())
 	return c
 }
 
-// CSRStats reports the snapshot cache counters and the cached snapshot's
-// approximate size (0 when nothing is cached), for SHOW METRICS.
+// CSRStats reports the snapshot cache counters and the most recently
+// returned snapshot's approximate size (0 before the first build), for
+// SHOW METRICS. All sources are atomics, so it is safe anywhere.
 func (gv *GraphView) CSRStats() (builds, buildNS, hits, misses, bytes int64) {
-	if c := gv.csr.Load(); c != nil {
-		bytes = c.ApproxBytes()
-	}
 	return gv.csrBuilds.Load(), gv.csrBuildNS.Load(),
-		gv.csrHits.Load(), gv.csrMisses.Load(), bytes
+		gv.csrHits.Load(), gv.csrMisses.Load(), gv.csrBytes.Load()
+}
+
+// MarkShared flags the live topology as aliased by a published engine
+// version: the next maintenance mutation clones it first (copy-on-write)
+// so pinned readers keep a stable graph. Callers hold the engine write
+// lock.
+func (gv *GraphView) MarkShared() { gv.sharedG = true }
+
+// ensurePrivateG clones the live topology before the first maintenance
+// mutation after a publish.
+func (gv *GraphView) ensurePrivateG() {
+	if !gv.sharedG {
+		return
+	}
+	gv.G = gv.G.Clone()
+	gv.sharedG = false
 }
 
 // VertexTable returns the vertexes relational-source.
@@ -304,66 +320,23 @@ func (gv *GraphView) EdgeSchema() *types.Schema { return gv.eSchema }
 // VertexRow materializes the extended tuple of a vertex by dereferencing
 // its tuple pointer into the vertexes relational-source.
 func (gv *GraphView) VertexRow(v *graph.Vertex) (types.Row, error) {
-	src, ok := gv.vtab.Get(storage.RowID(v.Tuple))
-	if !ok {
-		return nil, fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d", gv.Name, v.ID)
-	}
-	out := make(types.Row, 0, len(gv.VertexAttrs)+2)
-	for _, a := range gv.VertexAttrs {
-		out = append(out, src[a.pos])
-	}
-	out = append(out,
-		types.NewInt(int64(gv.G.FanOut(v))),
-		types.NewInt(int64(gv.G.FanIn(v))))
-	return out, nil
+	return vertexRowOf(gv, gv.G, gv.vtab, v)
 }
 
 // EdgeRow materializes the extended tuple of an edge.
 func (gv *GraphView) EdgeRow(e *graph.Edge) (types.Row, error) {
-	src, ok := gv.etab.Get(storage.RowID(e.Tuple))
-	if !ok {
-		return nil, fmt.Errorf("graph view %s: dangling tuple pointer for edge %d", gv.Name, e.ID)
-	}
-	out := make(types.Row, 0, len(gv.EdgeAttrs))
-	for _, a := range gv.EdgeAttrs {
-		out = append(out, src[a.pos])
-	}
-	return out, nil
+	return edgeRowOf(gv, gv.etab, e)
 }
 
 // VertexAttrValue reads one declared vertex attribute (by exposed name)
 // through the tuple pointer; it also serves the FanOut/FanIn properties.
 func (gv *GraphView) VertexAttrValue(v *graph.Vertex, name string) (types.Value, error) {
-	switch strings.ToUpper(name) {
-	case PropFanOut:
-		return types.NewInt(int64(gv.G.FanOut(v))), nil
-	case PropFanIn:
-		return types.NewInt(int64(gv.G.FanIn(v))), nil
-	}
-	for _, a := range gv.VertexAttrs {
-		if strings.EqualFold(a.Name, name) {
-			src, ok := gv.vtab.Get(storage.RowID(v.Tuple))
-			if !ok {
-				return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d", gv.Name, v.ID)
-			}
-			return src[a.pos], nil
-		}
-	}
-	return types.Null(), fmt.Errorf("graph view %s: unknown vertex attribute %q", gv.Name, name)
+	return vertexAttrValueOf(gv, gv.G, gv.vtab, v, name)
 }
 
 // EdgeAttrValue reads one declared edge attribute through the tuple pointer.
 func (gv *GraphView) EdgeAttrValue(e *graph.Edge, name string) (types.Value, error) {
-	for _, a := range gv.EdgeAttrs {
-		if strings.EqualFold(a.Name, name) {
-			src, ok := gv.etab.Get(storage.RowID(e.Tuple))
-			if !ok {
-				return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for edge %d", gv.Name, e.ID)
-			}
-			return src[a.pos], nil
-		}
-	}
-	return types.Null(), fmt.Errorf("graph view %s: unknown edge attribute %q", gv.Name, name)
+	return edgeAttrValueOf(gv, gv.etab, e, name)
 }
 
 // EdgeAttrSourcePos resolves a declared edge attribute to its column
@@ -490,6 +463,7 @@ func (gv *GraphView) IncidentEdges(vertexID int64) []EdgeRef {
 func (gv *GraphView) OnInsert(table string, id storage.RowID, row types.Row) error {
 	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
 		gv.maintOps.Add(1)
+		gv.ensurePrivateG()
 	}
 	if gv.IsVertexSource(table) {
 		vid, err := intAttr(row, gv.vIDPos, "vertex ID")
@@ -522,6 +496,7 @@ var DebugSkipEdgeDelete bool
 func (gv *GraphView) OnDelete(table string, row types.Row) error {
 	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
 		gv.maintOps.Add(1)
+		gv.ensurePrivateG()
 	}
 	if gv.IsEdgeSource(table) && !DebugSkipEdgeDelete {
 		eid, err := intAttr(row, gv.eIDPos, "edge ID")
@@ -547,6 +522,10 @@ func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow typ
 	if gv.IsVertexSource(table) || gv.IsEdgeSource(table) {
 		gv.maintOps.Add(1)
 	}
+	// The copy-on-write clone (ensurePrivateG) happens only on an actual
+	// topology change: attribute-only updates leave the graph — and its
+	// cached CSR snapshot — untouched, so pinned readers and the CSR
+	// cache survive pure attribute churn.
 	if gv.IsVertexSource(table) {
 		oldID, err := intAttr(oldRow, gv.vIDPos, "vertex ID")
 		if err != nil {
@@ -557,6 +536,7 @@ func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow typ
 			return err
 		}
 		if oldID != newID {
+			gv.ensurePrivateG()
 			if err := gv.G.RenameVertex(oldID, newID); err != nil {
 				return fmt.Errorf("graph view %s: %v", gv.Name, err)
 			}
@@ -572,6 +552,7 @@ func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow typ
 			return err
 		}
 		if oldID != newID {
+			gv.ensurePrivateG()
 			if err := gv.G.RenameEdge(oldID, newID); err != nil {
 				return fmt.Errorf("graph view %s: %v", gv.Name, err)
 			}
@@ -587,6 +568,7 @@ func (gv *GraphView) OnUpdate(table string, id storage.RowID, oldRow, newRow typ
 			return err
 		}
 		if oldFrom != newFrom || oldTo != newTo {
+			gv.ensurePrivateG()
 			gv.G.RemoveEdge(newID)
 			if _, err := gv.G.AddEdge(newID, newFrom, newTo, uint64(id)); err != nil {
 				// Rejected rewire (e.g. dangling endpoint): restore the old

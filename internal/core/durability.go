@@ -231,6 +231,11 @@ func Open(opts Options) (*Engine, *RecoveryInfo, error) {
 			gv.CSR()
 		}
 	}
+	// Publish the recovered state as one version: snapshot restore and
+	// WAL replay happened behind the write lock (replayed statements each
+	// published, but the checkpoint restore itself did not), so readers
+	// admitted after Open returns pin the fully recovered database.
+	e.publishLocked()
 	e.mu.Unlock()
 	e.metrics.WALRecoveries.Inc()
 	return e, info, nil

@@ -5,13 +5,16 @@
 // QEPs produced by the planner (§5).
 //
 // Concurrency departs from the single-threaded H-Store/VoltDB partition
-// model the paper builds on: statement execution follows a reader/writer
-// protocol instead. Read-only statements (SELECT over relations or the
-// VERTEXES/EDGES/PATHS facets, EXPLAIN, SHOW) take a shared lock and run
-// concurrently; DML and DDL take the exclusive lock, so graph-view
-// maintenance (§3.3) remains transactionally serialized and operators
-// still run lock-free — writers never overlap anything, and readers only
-// overlap other readers over immutable-for-the-duration state.
+// model the paper builds on: the engine is multi-versioned (version.go).
+// Every successful mutating statement publishes an immutable version —
+// catalog, copy-on-write table snapshots, graph-view topology bindings —
+// behind one atomic pointer. Read-only statements (SELECT over relations
+// or the VERTEXES/EDGES/PATHS facets, EXPLAIN, SHOW) pin the current
+// version and execute against it without taking the engine lock, so
+// readers never stall behind writers and a stalled reader never blocks
+// DML. Mutating statements still serialize among themselves under the
+// exclusive lock — graph-view maintenance (§3.3) remains transactionally
+// serialized — and publish with a single pointer swap on success.
 package core
 
 import (
@@ -103,13 +106,31 @@ type Options struct {
 
 // Engine is one in-memory database instance.
 type Engine struct {
-	// mu is the statement-execution lock: read-only statements hold it
-	// shared, mutating statements hold it exclusively (see the package
-	// comment). Everything reachable from the catalog — tables, indexes,
-	// graph-view topologies — is only mutated under the write side.
+	// mu is the writer-serialization lock: mutating statements hold it
+	// exclusively. Everything reachable from the catalog — tables,
+	// indexes, graph-view topologies — is only mutated under it.
+	// Read-only statements do NOT take mu: they pin the current published
+	// version (see version.go and state below). A handful of maintenance
+	// readers that must see the live objects (statistics refresh, the
+	// oracle's topology hooks, snapshot encoding) still take the read
+	// side purely to exclude writers.
 	mu   sync.RWMutex
 	cat  *catalog.Catalog
 	opts Options
+
+	// state is the currently published version; readers pin it with one
+	// atomic load + pin count (version.go). states is the writer-guarded
+	// registry of potentially-live versions behind mvcc.versions_live;
+	// pinned counts readers currently holding any pin.
+	state  atomic.Pointer[dbState]
+	states []*dbState
+	pinned atomic.Int64
+
+	// planOpts and workers hold the runtime-tunable planner options and
+	// traversal worker count. They are atomic because the lock-free read
+	// path loads them without holding mu.
+	planOpts atomic.Pointer[plan.Options]
+	workers  atomic.Int64
 
 	// queryTimeoutNS is the per-statement deadline in nanoseconds (0 =
 	// none). It is atomic, not guarded by mu: ExecuteStmtContext reads it
@@ -145,6 +166,9 @@ func New(opts Options) *Engine {
 	e := &Engine{cat: catalog.New(), opts: opts}
 	e.SetQueryTimeout(opts.QueryTimeout)
 	e.SetSlowQuery(opts.SlowQuery)
+	e.SetPlanOptions(opts.Plan)
+	e.workers.Store(int64(opts.Workers))
+	e.publishLocked() // version 1: the empty database
 	return e
 }
 
@@ -177,11 +201,16 @@ type Result struct {
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // SetPlanOptions swaps the planner options (used by experiment ablations).
+// New values apply to statements planned after the call.
 func (e *Engine) SetPlanOptions(o plan.Options) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.opts.Plan = o
+	e.planOpts.Store(&o)
 }
+
+// planOptions reads the current planner options (lock-free).
+func (e *Engine) planOptions() plan.Options { return *e.planOpts.Load() }
+
+// workerCount reads the current traversal worker-pool size (lock-free).
+func (e *Engine) workerCount() int { return int(e.workers.Load()) }
 
 // Execute parses and runs a single statement.
 func (e *Engine) Execute(query string) (*Result, error) {
@@ -228,10 +257,10 @@ func (e *Engine) ExecuteScriptContext(ctx context.Context, script string) ([]*Re
 	return out, nil
 }
 
-// ExecuteStmt runs one parsed statement under the engine's reader/writer
-// protocol: read-only statements (as classified by plan.ReadOnly) execute
-// concurrently under the shared lock, everything else serializes under the
-// exclusive lock.
+// ExecuteStmt runs one parsed statement under the engine's MVCC protocol:
+// read-only statements (as classified by plan.ReadOnly) pin the current
+// published version and run lock-free, everything else serializes under
+// the exclusive lock and publishes a new version on success.
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	return e.ExecuteStmtContext(context.Background(), stmt)
 }
@@ -284,24 +313,30 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, text string) 
 	}()
 	if readOnly {
 		lw := time.Now()
-		e.mu.RLock()
-		e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
-		defer e.mu.RUnlock()
+		st := e.pin()
+		e.metrics.LockReadWaitNS.Add(time.Since(lw).Nanoseconds())
+		defer e.unpin(st)
+		// A statement whose deadline elapsed (or that was canceled) before
+		// it pinned aborts before planning anything — mirrors the write
+		// path's post-lock check, so an already-dead reader never starts.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		switch s := stmt.(type) {
 		case *sql.Select:
-			res, prof, err = e.runSelect(ctx, s)
+			res, prof, err = e.runSelect(ctx, s, st)
 			return res, err
 		case *sql.Explain:
-			return e.runExplain(ctx, s)
+			return e.runExplain(ctx, s, st)
 		case *sql.Show:
-			return e.runShow(s)
+			return e.runShow(s, st)
 		}
 		// plan.ReadOnly and this switch must stay in sync.
 		return nil, fmt.Errorf("internal: unhandled read-only statement %T", stmt)
 	}
 	lw := time.Now()
 	e.mu.Lock()
-	e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
+	e.metrics.LockWriteWaitNS.Add(time.Since(lw).Nanoseconds())
 	defer e.mu.Unlock()
 	// Writers serialize: a statement whose deadline elapsed while queueing
 	// behind other writers aborts before touching any state.
@@ -326,11 +361,30 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, text string) 
 	}
 	res, err = e.applyLocked(stmt)
 	e.finishWALLocked(walLSN, err)
+	if err == nil {
+		// Publish the new version so subsequent readers see this
+		// statement's effects. SET is a runtime tunable, not state — no
+		// new version. A failed statement publishes nothing: its undo
+		// journal restored the live objects and readers keep the previous
+		// version.
+		if _, isSet := stmt.(*sql.Set); !isSet {
+			e.publishLocked()
+		}
+	}
 	return res, err
 }
 
 // applyLocked dispatches a mutating statement under the write lock.
 func (e *Engine) applyLocked(stmt sql.Statement) (*Result, error) {
+	switch stmt.(type) {
+	case *sql.CreateTable, *sql.CreateGraphView, *sql.CreateMatView,
+		*sql.DropMatView, *sql.DropTable, *sql.DropGraphView:
+		// DDL rewrites the catalog registry. Clone it first (COW): every
+		// published version holds the catalog pointer it was built with,
+		// so the registry a pinned reader resolves names through must
+		// never change underneath it.
+		e.cat = e.cat.Clone()
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return e.createTable(s)
@@ -380,9 +434,9 @@ func (e *Engine) Explain(query string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("EXPLAIN supports SELECT statements only")
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+	st := e.pin()
+	defer e.unpin(st)
+	p := &plan.Planner{Cat: st.cat, Opts: e.planOptions(), Pin: st}
 	op, err := p.PlanSelect(s)
 	if err != nil {
 		return "", err
@@ -393,8 +447,8 @@ func (e *Engine) Explain(query string) (string, error) {
 // runExplain plans the inner SELECT and renders the QEP, one line per row.
 // With ANALYZE the plan is also executed through the instrumentation layer
 // and every line carries the actual row counts and timings (observe.go).
-func (e *Engine) runExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
-	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+func (e *Engine) runExplain(ctx context.Context, s *sql.Explain, st *dbState) (*Result, error) {
+	p := &plan.Planner{Cat: st.cat, Opts: e.planOptions(), Pin: st}
 	op, err := p.PlanSelect(s.Query)
 	if err != nil {
 		return nil, err
@@ -413,8 +467,8 @@ func (e *Engine) runExplain(ctx context.Context, s *sql.Explain) (*Result, error
 // the plan runs through the instrumentation layer and the instrumented
 // root is returned so the statement observer can report top operators;
 // otherwise the plan runs bare and the middle return is nil.
-func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, *exec.Instrumented, error) {
-	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+func (e *Engine) runSelect(ctx context.Context, s *sql.Select, st *dbState) (*Result, *exec.Instrumented, error) {
+	p := &plan.Planner{Cat: st.cat, Opts: e.planOptions(), Pin: st}
 	op, err := p.PlanSelect(s)
 	if err != nil {
 		return nil, nil, err
@@ -426,7 +480,7 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.Select) (*Result, *exec.I
 		run = prof
 	}
 	ec := exec.NewContext(e.opts.MemLimit)
-	ec.Workers = e.opts.Workers
+	ec.Workers = e.workerCount()
 	ec.Bind(ctx)
 	rows, err := exec.Collect(ec, run)
 	e.observeAnalytics(op)
@@ -594,10 +648,10 @@ func (e *Engine) truncateTable(s *sql.TruncateTable) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (e *Engine) runShow(s *sql.Show) (*Result, error) {
+func (e *Engine) runShow(s *sql.Show, st *dbState) (*Result, error) {
 	if s.What == "METRICS" {
 		res := &Result{Columns: []string{"name", "value"}}
-		for _, kv := range e.metrics.Snapshot(e.viewStatsLocked()) {
+		for _, kv := range e.metrics.Snapshot(e.viewStatsAt(st)) {
 			res.Rows = append(res.Rows, types.Row{types.NewString(kv.Name), types.NewInt(kv.Value)})
 		}
 		return res, nil
@@ -613,11 +667,11 @@ func (e *Engine) runShow(s *sql.Show) (*Result, error) {
 	var names []string
 	switch s.What {
 	case "TABLES":
-		names = e.cat.Tables()
+		names = st.cat.Tables()
 	case "MATERIALIZED VIEWS":
-		names = e.cat.MatViews()
+		names = st.cat.MatViews()
 	default:
-		names = e.cat.GraphViews()
+		names = st.cat.GraphViews()
 	}
 	for _, n := range names {
 		res.Rows = append(res.Rows, types.Row{types.NewString(n)})

@@ -143,20 +143,23 @@ func walkOperators(op exec.Operator, fn func(exec.Operator)) {
 	}
 }
 
-// viewStatsLocked gathers the per-graph-view gauges for a metrics
-// snapshot. Callers hold the statement lock (either side).
-func (e *Engine) viewStatsLocked() []metrics.GraphViewStats {
+// viewStatsAt gathers the per-graph-view gauges for a metrics snapshot
+// against a pinned version: topology sizes come from the version's bound
+// graph (never mutated after publish), while the lifetime counters
+// (maintenance ops, CSR cache, statistics age) are the view's atomics.
+func (e *Engine) viewStatsAt(st *dbState) []metrics.GraphViewStats {
 	now := time.Now()
 	var out []metrics.GraphViewStats
-	for _, name := range e.cat.GraphViews() {
-		gv, ok := e.cat.GraphView(name)
+	for _, name := range st.cat.GraphViews() {
+		gv, ok := st.cat.GraphView(name)
 		if !ok {
 			continue
 		}
+		g := st.GraphView(gv).G
 		vs := metrics.GraphViewStats{
 			Name:       name,
-			Vertices:   int64(gv.G.NumVertices()),
-			Edges:      int64(gv.G.NumEdges()),
+			Vertices:   int64(g.NumVertices()),
+			Edges:      int64(g.NumEdges()),
 			MaintOps:   gv.MaintOps(),
 			StatsAgeNS: -1,
 		}
@@ -171,23 +174,24 @@ func (e *Engine) viewStatsLocked() []metrics.GraphViewStats {
 
 // MetricsSnapshot renders the full metrics state — engine counters,
 // latency summary, and per-graph-view gauges — as sorted name/value
-// pairs. It takes the shared lock, so it can run alongside readers.
+// pairs. It pins the current version like any reader, so it never waits
+// behind writers.
 func (e *Engine) MetricsSnapshot() []metrics.KV {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.metrics.Snapshot(e.viewStatsLocked())
+	st := e.pin()
+	defer e.unpin(st)
+	return e.metrics.Snapshot(e.viewStatsAt(st))
 }
 
 // runExplainAnalyze executes the planned SELECT through the
 // instrumentation layer, discards its rows, and renders the annotated
 // operator tree plus execution summary lines: totals, traversal counters,
 // and for every PathScan the §6.3 statistics the optimizer consulted.
-// Callers hold the shared lock (EXPLAIN is read-only; the inner statement
-// is a SELECT, so running it under the read side is sound).
+// Callers hold a version pin (EXPLAIN is read-only; the plan was built
+// against the pinned version, so running it lock-free is sound).
 func (e *Engine) runExplainAnalyze(ctx context.Context, op exec.Operator) (*Result, error) {
 	root := exec.Instrument(op)
 	ec := exec.NewContext(e.opts.MemLimit)
-	ec.Workers = e.opts.Workers
+	ec.Workers = e.workerCount()
 	ec.Bind(ctx)
 	start := time.Now()
 	rows, err := exec.Collect(ec, root)
@@ -233,10 +237,14 @@ func (e *Engine) runExplainAnalyze(ctx context.Context, op exec.Operator) (*Resu
 				gv.Name, builds, time.Duration(buildNS).Round(time.Microsecond),
 				hits, misses, bytes)
 		}
+		topo := gv.G
+		if pj.Spec.At != nil {
+			topo = pj.Spec.At.G
+		}
 		st := gv.Stats()
 		if st == nil {
 			add("Stats[%s]: none published; optimizer used live avg_fanout=%.2f",
-				gv.Name, gv.G.AvgFanOut())
+				gv.Name, topo.AvgFanOut())
 			return
 		}
 		state := "fresh"

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"grfusion/internal/exec"
@@ -15,20 +16,31 @@ import (
 	"grfusion/internal/types"
 )
 
-// Prepared is a compiled, parameterized SELECT: parsed and planned once,
-// executable many times with different `?` argument values. This is the
-// VoltDB execution model the paper's system inherits — queries run as
-// precompiled stored procedures, so steady-state query time is pure
-// execution with no parse or plan cost.
+// Prepared is a compiled, parameterized SELECT: parsed once, planned
+// lazily per engine version, executable many times with different `?`
+// argument values. This is the VoltDB execution model the paper's system
+// inherits — queries run as precompiled stored procedures, so
+// steady-state query time is pure execution with no parse or plan cost.
 //
-// A prepared plan captures catalog object references; dropping a table or
-// graph view it uses invalidates it (executions then fail or see the stale
-// object). Re-prepare after DDL.
+// Under MVCC a plan is bound to the version it was planned against (its
+// scans carry that version's snapshots and topology bindings), so the
+// compiled operator tree is cached per version sequence: as long as no
+// mutation intervenes, executions reuse the cached plan; after a
+// mutation, the next execution replans against the new version — which
+// also means DDL no longer silently invalidates a Prepared, it just
+// replans (and fails cleanly if its objects were dropped).
 type Prepared struct {
 	e       *Engine
-	op      exec.Operator
+	s       *sql.Select
 	cols    []string
 	nparams int
+
+	// planMu guards the (seq, op) plan cache; executions only hold it
+	// while fetching or refreshing the cached plan, never during
+	// execution.
+	planMu sync.Mutex
+	seq    uint64
+	op     exec.Operator
 }
 
 // Prepare parses and plans a SELECT containing `?` placeholders.
@@ -41,9 +53,9 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("Prepare supports SELECT statements only, got %T (use PrepareDML)", stmt)
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	p := &plan.Planner{Cat: e.cat, Opts: e.opts.Plan}
+	st := e.pin()
+	defer e.unpin(st)
+	p := &plan.Planner{Cat: st.cat, Opts: e.planOptions(), Pin: st}
 	op, err := p.PlanSelect(s)
 	if err != nil {
 		return nil, err
@@ -52,7 +64,24 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 	for i, c := range op.Schema().Columns {
 		cols[i] = c.Name
 	}
-	return &Prepared{e: e, op: op, cols: cols, nparams: countParams(s)}, nil
+	return &Prepared{e: e, s: s, cols: cols, nparams: countParams(s), seq: st.seq, op: op}, nil
+}
+
+// planFor returns the operator tree for the pinned version, reusing the
+// cached plan when the version is unchanged since it was built.
+func (p *Prepared) planFor(st *dbState) (exec.Operator, error) {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.op != nil && p.seq == st.seq {
+		return p.op, nil
+	}
+	pl := &plan.Planner{Cat: st.cat, Opts: p.e.planOptions(), Pin: st}
+	op, err := pl.PlanSelect(p.s)
+	if err != nil {
+		return nil, err
+	}
+	p.seq, p.op = st.seq, op
+	return op, nil
 }
 
 // PreparedDML is a parsed, parameterized INSERT/UPDATE/DELETE — the write
@@ -106,7 +135,9 @@ func (p *PreparedDML) Exec(params ...types.Value) (*Result, error) {
 			p.nparams, len(params))
 	}
 	e := p.e
+	lw := time.Now()
 	e.mu.Lock()
+	e.metrics.LockWriteWaitNS.Add(time.Since(lw).Nanoseconds())
 	defer e.mu.Unlock()
 	var walLSN uint64
 	if e.dur.log != nil {
@@ -129,6 +160,9 @@ func (p *PreparedDML) Exec(params ...types.Value) (*Result, error) {
 		res, err = e.runDeleteParams(p.stmt.(*sql.Delete), types.Row(params))
 	}
 	e.finishWALLocked(walLSN, err)
+	if err == nil {
+		e.publishLocked()
+	}
 	return res, err
 }
 
@@ -149,10 +183,11 @@ func (p *Prepared) NumParams() int { return p.nparams }
 func (p *Prepared) Columns() []string { return p.cols }
 
 // Query executes the prepared plan with the given parameter values. It
-// takes the engine's shared lock, so any number of prepared queries (and
-// ad-hoc reads) run concurrently; operator trees keep all per-execution
-// state in their iterators, making a Prepared safe for concurrent Query
-// calls from multiple goroutines.
+// pins the current engine version like any reader — no lock taken — so
+// any number of prepared queries (and ad-hoc reads) run concurrently,
+// even alongside writers; operator trees keep all per-execution state in
+// their iterators, making a Prepared safe for concurrent Query calls
+// from multiple goroutines.
 func (p *Prepared) Query(params ...types.Value) (*Result, error) {
 	return p.QueryContext(context.Background(), params...)
 }
@@ -188,16 +223,25 @@ func (p *Prepared) QueryContext(ctx context.Context, params ...types.Value) (res
 		}
 	}()
 	lw := time.Now()
-	p.e.mu.RLock()
-	p.e.metrics.LockWaitNS.Add(time.Since(lw).Nanoseconds())
-	defer p.e.mu.RUnlock()
-	run := p.op
+	st := p.e.pin()
+	p.e.metrics.LockReadWaitNS.Add(time.Since(lw).Nanoseconds())
+	defer p.e.unpin(st)
+	// Mirror execStmt: an execution whose deadline elapsed (or that was
+	// canceled) before it pinned aborts before touching the plan.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	op, err := p.planFor(st)
+	if err != nil {
+		return nil, err
+	}
+	run := op
 	if p.e.slowQueryNS.Load() > 0 {
-		prof = exec.Instrument(p.op)
+		prof = exec.Instrument(op)
 		run = prof
 	}
 	ec := exec.NewContext(p.e.opts.MemLimit)
-	ec.Workers = p.e.opts.Workers
+	ec.Workers = p.e.workerCount()
 	ec.Params = types.Row(params)
 	ec.Bind(ctx)
 	rows, err := exec.Collect(ec, run)

@@ -46,10 +46,9 @@ func (e *Engine) GraphTopology(name string) (*graph.Graph, error) {
 }
 
 // SetWorkers resizes the multi-source traversal worker pool (see
-// Options.Workers). The oracle uses it to check that query results are
-// byte-identical at any worker count.
+// Options.Workers); the new size applies to statements started after the
+// call. The oracle uses it to check that query results are byte-identical
+// at any worker count.
 func (e *Engine) SetWorkers(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.opts.Workers = n
+	e.workers.Store(int64(n))
 }

@@ -145,6 +145,9 @@ func (e *Engine) Restore(r io.Reader) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	_, err := e.restoreLocked(r)
+	if err == nil {
+		e.publishLocked()
+	}
 	return err
 }
 

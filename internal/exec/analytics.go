@@ -121,6 +121,10 @@ type AnalyticsScan struct {
 	Layout Layout
 	Filter expr.Expr
 
+	// At, when set, runs the kernel over a pinned version of the view's
+	// topology; nil runs over the live view.
+	At *catalog.GraphViewAt
+
 	schema *types.Schema
 
 	// Actuals, surfaced by EXPLAIN ANALYZE and the metrics registry:
@@ -239,12 +243,16 @@ func (s *AnalyticsScan) Open(ctx *Context) (Iterator, error) {
 		workers = 1
 	}
 
+	at := s.At
+	if at == nil {
+		at = s.GV.Live()
+	}
 	it := &analyticsIter{ctx: ctx, s: s}
 	s.runs.Add(1)
 	if s.Layout == LayoutCSR {
-		// Fetch (or lazily build) the CSR snapshot at execution time,
-		// under the statement lock — same pinning discipline as PathScan.
-		c := s.GV.CSR()
+		// Fetch (or lazily build) the CSR snapshot of the bound topology
+		// version at execution time — same pinning discipline as PathScan.
+		c := at.CSR()
 		it.csr = c
 		it.n = c.NumVertices()
 		a := c.NewAnalytics()
@@ -278,10 +286,10 @@ func (s *AnalyticsScan) Open(ctx *Context) (Iterator, error) {
 		return it, nil
 	}
 
-	// Pointer layout: the single-threaded reference over the live
+	// Pointer layout: the single-threaded reference over the bound
 	// topology — always correct, no snapshot build, the right call for
 	// small graphs and the oracle's layout-invariance baseline.
-	g := s.GV.G
+	g := at.G
 	g.Vertices(func(v *graph.Vertex) bool {
 		it.ids = append(it.ids, v.ID)
 		return true

@@ -156,6 +156,10 @@ type PathScanSpec struct {
 	GV    *catalog.GraphView
 	Alias string
 
+	// At, when set, pins the traversal to one engine version (topology
+	// instance + source-table snapshots); nil traverses the live view.
+	At *catalog.GraphViewAt
+
 	Phys   Phys
 	Layout Layout
 	Policy graph.VisitPolicy
@@ -267,7 +271,10 @@ func (p *PathProbeJoin) Open(ctx *Context) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	it := &pathProbeIter{ctx: ctx, p: p, outer: outer}
+	it := &pathProbeIter{ctx: ctx, p: p, outer: outer, at: p.Spec.At}
+	if it.at == nil {
+		it.at = p.Spec.GV.Live()
+	}
 	// Resolve pushed-filter attributes to source-column positions once so
 	// the per-edge hot path is a tuple-pointer dereference plus an index,
 	// not a name lookup (§3.2's O(1) linkage, made literal).
@@ -311,11 +318,12 @@ func (p *PathProbeJoin) Open(ctx *Context) (Iterator, error) {
 		}
 	}
 	if p.Spec.Layout == LayoutCSR {
-		// Fetch (or lazily build) the CSR snapshot at execution time, under
-		// the statement lock — never at plan time, where the topology the
-		// query will actually see is not yet pinned. DML cannot interleave
-		// with this query, so the snapshot stays fresh for its duration.
-		it.csr = gv.CSR()
+		// Fetch (or lazily build) the CSR snapshot at execution time — never
+		// at plan time, where the topology the query will actually see is not
+		// yet bound. The snapshot is taken from the bound version's topology
+		// instance, so a pinned reader traverses exactly what it pinned even
+		// while writers advance the live view.
+		it.csr = it.at.CSR()
 	}
 	return it, nil
 }
@@ -324,6 +332,10 @@ type pathProbeIter struct {
 	ctx   *Context
 	p     *PathProbeJoin
 	outer Iterator
+
+	// at is the version binding every topology walk and tuple dereference
+	// resolves against (Spec.At, or the live view when unpinned).
+	at *catalog.GraphViewAt
 
 	// Resolved source-column positions of pushed filters (-1 = use the
 	// accessor path, e.g. for computed FanIn/FanOut properties).
@@ -535,7 +547,7 @@ func (it *pathProbeIter) drainSource(start *graph.Vertex) ([]*graph.Path, error)
 // current outer row: start vertexes, target, and filter constants.
 func (it *pathProbeIter) bindProbe() error {
 	spec := &it.p.Spec
-	g := spec.GV.G
+	g := it.at.G
 	it.starts = it.starts[:0]
 	it.si = 0
 	it.target = nil
@@ -725,7 +737,7 @@ func (it *pathProbeIter) newRun(start *graph.Vertex) *probeRun {
 			run.iter = sp
 			run.spErr = sp.Err
 		} else {
-			sp := graph.NewShortest(gv.G, gspec, weight, k)
+			sp := graph.NewShortest(it.at.G, gspec, weight, k)
 			run.iter = sp
 			run.spErr = sp.Err
 		}
@@ -733,13 +745,13 @@ func (it *pathProbeIter) newRun(start *graph.Vertex) *probeRun {
 		if it.csr != nil {
 			run.iter = graph.NewCSRBFS(it.csr, gspec)
 		} else {
-			run.iter = graph.NewBFS(gv.G, gspec)
+			run.iter = graph.NewBFS(it.at.G, gspec)
 		}
 	default:
 		if it.csr != nil {
 			run.iter = graph.NewCSRDFS(it.csr, gspec)
 		} else {
-			run.iter = graph.NewDFS(gv.G, gspec)
+			run.iter = graph.NewDFS(it.at.G, gspec)
 		}
 	}
 	return run
@@ -806,26 +818,26 @@ func (it *pathProbeIter) checkBound(bi int, bound types.Value, p *graph.Path, er
 // position when available (the hot path) or the accessor otherwise.
 func (it *pathProbeIter) edgeAttr(e *graph.Edge, pos int, attr string) (types.Value, error) {
 	if pos >= 0 {
-		row, ok := it.p.Spec.GV.EdgeTable().Get(storage.RowID(e.Tuple))
+		row, ok := it.at.E.Get(storage.RowID(e.Tuple))
 		if !ok {
 			return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for edge %d",
 				it.p.Spec.GV.Name, e.ID)
 		}
 		return row[pos], nil
 	}
-	return it.p.Spec.GV.EdgeAttrValue(e, attr)
+	return it.at.EdgeAttrValue(e, attr)
 }
 
 // vertexAttr reads one vertex attribute analogously; computed properties
 // (FanIn/FanOut) take the accessor path.
 func (it *pathProbeIter) vertexAttr(v *graph.Vertex, pos int, attr string) (types.Value, error) {
 	if pos >= 0 {
-		row, ok := it.p.Spec.GV.VertexTable().Get(storage.RowID(v.Tuple))
+		row, ok := it.at.V.Get(storage.RowID(v.Tuple))
 		if !ok {
 			return types.Null(), fmt.Errorf("graph view %s: dangling tuple pointer for vertex %d",
 				it.p.Spec.GV.Name, v.ID)
 		}
 		return row[pos], nil
 	}
-	return it.p.Spec.GV.VertexAttrValue(v, attr)
+	return it.at.VertexAttrValue(v, attr)
 }

@@ -21,6 +21,9 @@ type IndexRangeScan struct {
 	HiInc  bool
 	Filter expr.Expr
 
+	// Rows, when set, pins the scan to a table snapshot; see SeqScan.Rows.
+	Rows storage.RowView
+
 	schema *types.Schema
 }
 
@@ -82,21 +85,71 @@ func (s *IndexRangeScan) Open(ctx *Context) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Materialize matching ids: the engine serializes statements, so the
-	// snapshot is stable (same rationale as SeqScan).
+	rows := storage.RowView(s.Table)
+	if s.Rows != nil {
+		rows = s.Rows
+	}
+	// Materialize matching ids. Against a pinned snapshot the live index may
+	// run ahead of the pinned version, so verify the table version around the
+	// probe and fall back to a filtered snapshot scan when it moved (same
+	// protocol as IndexScan.Open).
+	if snap, ok := rows.(*storage.TableSnap); ok {
+		v := snap.LiveVersion()
+		if v != snap.Version() {
+			return &rangeScanIter{ctx: ctx, s: s, rows: snap, ids: rangeFallbackIDs(snap, s.Index, lo, hi)}, nil
+		}
+		ids := collectRange(s.Index, lo, hi)
+		if snap.LiveVersion() != v {
+			ids = rangeFallbackIDs(snap, s.Index, lo, hi)
+		}
+		return &rangeScanIter{ctx: ctx, s: s, rows: snap, ids: ids}, nil
+	}
+	return &rangeScanIter{ctx: ctx, s: s, rows: rows, ids: collectRange(s.Index, lo, hi)}, nil
+}
+
+func collectRange(ix *storage.Index, lo, hi storage.Bound) []storage.RowID {
 	var ids []storage.RowID
-	s.Index.Range(lo, hi, func(id storage.RowID) bool {
+	ix.Range(lo, hi, func(id storage.RowID) bool {
 		ids = append(ids, id)
 		return true
 	})
-	return &rangeScanIter{ctx: ctx, s: s, ids: ids}, nil
+	return ids
+}
+
+// rangeFallbackIDs computes an ordered-index range probe by scanning a
+// pinned snapshot, mirroring Index.Range bound semantics on the leading
+// index columns. Emission is in RowID order rather than key order; range
+// scans make no ordering promise to consumers.
+func rangeFallbackIDs(snap *storage.TableSnap, ix *storage.Index, lo, hi storage.Bound) []storage.RowID {
+	cols := ix.Columns()
+	var ids []storage.RowID
+	snap.Scan(func(id storage.RowID, row types.Row) bool {
+		probe := make(types.Row, len(cols))
+		for i, c := range cols {
+			probe[i] = row[c]
+		}
+		if lo.Key != nil {
+			if c := storage.ComparePrefix(probe, lo.Key); c < 0 || (c == 0 && !lo.Inclusive) {
+				return true
+			}
+		}
+		if hi.Key != nil {
+			if c := storage.ComparePrefix(probe, hi.Key); c > 0 || (c == 0 && !hi.Inclusive) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids
 }
 
 type rangeScanIter struct {
-	ctx *Context
-	s   *IndexRangeScan
-	ids []storage.RowID
-	i   int
+	ctx  *Context
+	s    *IndexRangeScan
+	rows storage.RowView
+	ids  []storage.RowID
+	i    int
 }
 
 func (it *rangeScanIter) Next() (types.Row, error) {
@@ -104,7 +157,7 @@ func (it *rangeScanIter) Next() (types.Row, error) {
 		if err := it.ctx.CheckCancel(); err != nil {
 			return nil, err
 		}
-		row, ok := it.s.Table.Get(it.ids[it.i])
+		row, ok := it.rows.Get(it.ids[it.i])
 		it.i++
 		if !ok {
 			continue

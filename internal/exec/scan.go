@@ -70,6 +70,11 @@ type SeqScan struct {
 	Alias  string
 	Filter expr.Expr
 
+	// Rows is the row view the scan reads: a pinned immutable snapshot on
+	// the lock-free read path, or nil to read the live table (writer-side
+	// plans and directly constructed operators).
+	Rows storage.RowView
+
 	schema *types.Schema
 }
 
@@ -78,6 +83,13 @@ type SeqScan struct {
 func NewSeqScan(t *storage.Table, alias string, filter expr.Expr) *SeqScan {
 	return &SeqScan{Table: t, Alias: alias, Filter: filter,
 		schema: t.Schema().WithQualifier(alias)}
+}
+
+func (s *SeqScan) rows() storage.RowView {
+	if s.Rows != nil {
+		return s.Rows
+	}
+	return s.Table
 }
 
 // Schema implements Operator.
@@ -101,22 +113,24 @@ func (s *SeqScan) Children() []Operator { return nil }
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *Context) (Iterator, error) {
 	debugScanHooks(s.Table.Name())
-	// Materialize the matching row ids up front: tables are not versioned
-	// MVCC stores, and the engine serializes statements, so a snapshot of
-	// ids is stable for the statement's lifetime.
+	// Materialize the matching row ids up front. The row view is stable
+	// for the statement's lifetime: pinned snapshots are immutable, and
+	// live-table scans run with the engine lock held.
+	rows := s.rows()
 	var ids []storage.RowID
-	s.Table.Scan(func(id storage.RowID, row types.Row) bool {
+	rows.Scan(func(id storage.RowID, row types.Row) bool {
 		ids = append(ids, id)
 		return true
 	})
-	return &seqScanIter{ctx: ctx, s: s, ids: ids}, nil
+	return &seqScanIter{ctx: ctx, s: s, rows: rows, ids: ids}, nil
 }
 
 type seqScanIter struct {
-	ctx *Context
-	s   *SeqScan
-	ids []storage.RowID
-	i   int
+	ctx  *Context
+	s    *SeqScan
+	rows storage.RowView
+	ids  []storage.RowID
+	i    int
 }
 
 func (it *seqScanIter) Next() (types.Row, error) {
@@ -124,7 +138,7 @@ func (it *seqScanIter) Next() (types.Row, error) {
 		if err := it.ctx.CheckCancel(); err != nil {
 			return nil, err
 		}
-		row, ok := it.s.Table.Get(it.ids[it.i])
+		row, ok := it.rows.Get(it.ids[it.i])
 		it.i++
 		if !ok {
 			continue
@@ -154,6 +168,13 @@ type IndexScan struct {
 	Keys   []expr.Expr // one per indexed column, constant
 	Filter expr.Expr
 
+	// Rows, when set, is the pinned snapshot the scan resolves rows
+	// against. The index itself is live (indexes are not versioned), so a
+	// pinned scan re-checks the table version around the index read and
+	// falls back to filtering the snapshot when a writer raced it; see
+	// Open.
+	Rows storage.RowView
+
 	schema *types.Schema
 }
 
@@ -179,6 +200,13 @@ func (s *IndexScan) Explain() string {
 func (s *IndexScan) Children() []Operator { return nil }
 
 // Open implements Operator.
+//
+// On a pinned snapshot the scan consults the LIVE index under a
+// double-check of the table's mutation version: mutators bump the version
+// before touching the index, so if the version equals the snapshot's both
+// before and after the index read, the index content matched the snapshot
+// exactly. Any mismatch means a writer is (or was) in flight, and the
+// scan degrades to filtering the snapshot by key — same rows, no index.
 func (s *IndexScan) Open(ctx *Context) (Iterator, error) {
 	key := make(types.Row, len(s.Keys))
 	for i, e := range s.Keys {
@@ -188,15 +216,63 @@ func (s *IndexScan) Open(ctx *Context) (Iterator, error) {
 		}
 		key[i] = v
 	}
+	rows := storage.RowView(s.Table)
+	if s.Rows != nil {
+		rows = s.Rows
+	}
+	if snap, ok := rows.(*storage.TableSnap); ok {
+		v := snap.LiveVersion()
+		if v != snap.Version() {
+			return &indexScanIter{ctx: ctx, s: s, rows: snap, ids: indexFallbackIDs(snap, s.Index, key)}, nil
+		}
+		ids := s.Index.Lookup(key)
+		if snap.LiveVersion() != v {
+			ids = indexFallbackIDs(snap, s.Index, key)
+		}
+		return &indexScanIter{ctx: ctx, s: s, rows: snap, ids: ids}, nil
+	}
 	ids := s.Index.Lookup(key)
-	return &indexScanIter{ctx: ctx, s: s, ids: ids}, nil
+	return &indexScanIter{ctx: ctx, s: s, rows: rows, ids: ids}, nil
+}
+
+// indexFallbackIDs computes an index point lookup by scanning a pinned
+// snapshot, mirroring the index's own key-equality semantics (string keys
+// for hash indexes, types.Compare for ordered ones).
+func indexFallbackIDs(snap *storage.TableSnap, ix *storage.Index, key types.Row) []storage.RowID {
+	cols := ix.Columns()
+	keyIdx := make([]int, len(key))
+	for i := range key {
+		keyIdx[i] = i
+	}
+	var keyStr string
+	if !ix.Ordered() {
+		keyStr = types.KeyOf(key, keyIdx)
+	}
+	var ids []storage.RowID
+	snap.Scan(func(id storage.RowID, row types.Row) bool {
+		if ix.Ordered() {
+			probe := make(types.Row, len(cols))
+			for i, c := range cols {
+				probe[i] = row[c]
+			}
+			if storage.ComparePrefix(probe, key) != 0 {
+				return true
+			}
+		} else if types.KeyOf(row, cols) != keyStr {
+			return true
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids
 }
 
 type indexScanIter struct {
-	ctx *Context
-	s   *IndexScan
-	ids []storage.RowID
-	i   int
+	ctx  *Context
+	s    *IndexScan
+	rows storage.RowView
+	ids  []storage.RowID
+	i    int
 }
 
 func (it *indexScanIter) Next() (types.Row, error) {
@@ -204,7 +280,7 @@ func (it *indexScanIter) Next() (types.Row, error) {
 		if err := it.ctx.CheckCancel(); err != nil {
 			return nil, err
 		}
-		row, ok := it.s.Table.Get(it.ids[it.i])
+		row, ok := it.rows.Get(it.ids[it.i])
 		it.i++
 		if !ok {
 			continue
@@ -232,6 +308,10 @@ type VertexScan struct {
 	Alias  string
 	Filter expr.Expr
 
+	// At, when set, binds the scan to a pinned version of the view
+	// (topology + source snapshots); nil scans the live view.
+	At *catalog.GraphViewAt
+
 	schema *types.Schema
 }
 
@@ -239,6 +319,13 @@ type VertexScan struct {
 func NewVertexScan(gv *catalog.GraphView, alias string, filter expr.Expr) *VertexScan {
 	return &VertexScan{GV: gv, Alias: alias, Filter: filter,
 		schema: gv.VertexSchema().WithQualifier(alias)}
+}
+
+func (s *VertexScan) at() *catalog.GraphViewAt {
+	if s.At != nil {
+		return s.At
+	}
+	return s.GV.Live()
 }
 
 // Schema implements Operator.
@@ -258,17 +345,19 @@ func (s *VertexScan) Children() []Operator { return nil }
 
 // Open implements Operator.
 func (s *VertexScan) Open(ctx *Context) (Iterator, error) {
+	at := s.at()
 	var verts []*graph.Vertex
-	s.GV.G.Vertices(func(v *graph.Vertex) bool {
+	at.G.Vertices(func(v *graph.Vertex) bool {
 		verts = append(verts, v)
 		return true
 	})
-	return &vertexScanIter{ctx: ctx, s: s, verts: verts}, nil
+	return &vertexScanIter{ctx: ctx, s: s, at: at, verts: verts}, nil
 }
 
 type vertexScanIter struct {
 	ctx   *Context
 	s     *VertexScan
+	at    *catalog.GraphViewAt
 	verts []*graph.Vertex
 	i     int
 }
@@ -280,7 +369,7 @@ func (it *vertexScanIter) Next() (types.Row, error) {
 		}
 		v := it.verts[it.i]
 		it.i++
-		row, err := it.s.GV.VertexRow(v)
+		row, err := it.at.VertexRow(v)
 		if err != nil {
 			return nil, err
 		}
@@ -307,6 +396,9 @@ type EdgeScan struct {
 	Alias  string
 	Filter expr.Expr
 
+	// At, when set, binds the scan to a pinned version of the view.
+	At *catalog.GraphViewAt
+
 	schema *types.Schema
 }
 
@@ -314,6 +406,13 @@ type EdgeScan struct {
 func NewEdgeScan(gv *catalog.GraphView, alias string, filter expr.Expr) *EdgeScan {
 	return &EdgeScan{GV: gv, Alias: alias, Filter: filter,
 		schema: gv.EdgeSchema().WithQualifier(alias)}
+}
+
+func (s *EdgeScan) at() *catalog.GraphViewAt {
+	if s.At != nil {
+		return s.At
+	}
+	return s.GV.Live()
 }
 
 // Schema implements Operator.
@@ -333,17 +432,19 @@ func (s *EdgeScan) Children() []Operator { return nil }
 
 // Open implements Operator.
 func (s *EdgeScan) Open(ctx *Context) (Iterator, error) {
+	at := s.at()
 	var edges []*graph.Edge
-	s.GV.G.Edges(func(e *graph.Edge) bool {
+	at.G.Edges(func(e *graph.Edge) bool {
 		edges = append(edges, e)
 		return true
 	})
-	return &edgeScanIter{ctx: ctx, s: s, edges: edges}, nil
+	return &edgeScanIter{ctx: ctx, s: s, at: at, edges: edges}, nil
 }
 
 type edgeScanIter struct {
 	ctx   *Context
 	s     *EdgeScan
+	at    *catalog.GraphViewAt
 	edges []*graph.Edge
 	i     int
 }
@@ -355,7 +456,7 @@ func (it *edgeScanIter) Next() (types.Row, error) {
 		}
 		e := it.edges[it.i]
 		it.i++
-		row, err := it.s.GV.EdgeRow(e)
+		row, err := it.at.EdgeRow(e)
 		if err != nil {
 			return nil, err
 		}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Vertex is one node of a graph view's topology.
@@ -80,6 +81,13 @@ type Graph struct {
 	vertOrder atomic.Pointer[[]*Vertex]
 	edgeOrder atomic.Pointer[[]*Edge]
 	orderMu   sync.Mutex
+
+	// csr caches the immutable CSR read snapshot of this topology instance.
+	// Keeping the cache on the Graph (not the view) means a pinned old
+	// topology version retains its own CSR: readers on different versions
+	// never thrash one shared slot. Built lazily under csrMu.
+	csr   atomic.Pointer[CSR]
+	csrMu sync.Mutex
 }
 
 // mutation kinds for topologyChanged.
@@ -364,6 +372,80 @@ func (g *Graph) Edges(fn func(*Edge) bool) {
 			return
 		}
 	}
+}
+
+// CSRSnapshot returns a CSR read snapshot of the current topology,
+// building one if the cached snapshot is stale. onEvent, when non-nil, is
+// invoked once per call with whether the cache hit and, on a miss, the
+// build time in nanoseconds (callers hang their metrics counters on it).
+// Safe for concurrent readers; concurrent builds are collapsed by csrMu.
+func (g *Graph) CSRSnapshot(onEvent func(hit bool, buildNS int64)) *CSR {
+	if c := g.csr.Load(); c != nil && c.Fresh(g) {
+		if onEvent != nil {
+			onEvent(true, 0)
+		}
+		return c
+	}
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if c := g.csr.Load(); c != nil && c.Fresh(g) {
+		if onEvent != nil {
+			onEvent(true, 0)
+		}
+		return c
+	}
+	start := time.Now()
+	c := BuildCSR(g)
+	g.csr.Store(c)
+	if onEvent != nil {
+		onEvent(false, time.Since(start).Nanoseconds())
+	}
+	return c
+}
+
+// Clone returns a deep copy of the topology sharing no mutable state with
+// the receiver: fresh Vertex/Edge structs (mutators edit IDs and adjacency
+// positions in place) and rebuilt adjacency lists preserving order, so a
+// pinned reader of the original never observes the copy's mutations. The
+// version counter carries over; derived caches (iteration order, CSR) are
+// not copied and rebuild lazily per instance.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		name:     g.name,
+		directed: g.directed,
+		vertices: make(map[int64]*Vertex, len(g.vertices)),
+		edges:    make(map[int64]*Edge, len(g.edges)),
+	}
+	for id, v := range g.vertices {
+		ng.vertices[id] = &Vertex{ID: v.ID, Tuple: v.Tuple}
+	}
+	for id, e := range g.edges {
+		ng.edges[id] = &Edge{
+			ID:     e.ID,
+			From:   ng.vertices[e.From.ID],
+			To:     ng.vertices[e.To.ID],
+			Tuple:  e.Tuple,
+			outPos: e.outPos,
+			inPos:  e.inPos,
+		}
+	}
+	for id, v := range g.vertices {
+		nv := ng.vertices[id]
+		if len(v.Out) > 0 {
+			nv.Out = make([]*Edge, len(v.Out))
+			for i, e := range v.Out {
+				nv.Out[i] = ng.edges[e.ID]
+			}
+		}
+		if len(v.In) > 0 {
+			nv.In = make([]*Edge, len(v.In))
+			for i, e := range v.In {
+				nv.In[i] = ng.edges[e.ID]
+			}
+		}
+	}
+	ng.version.Store(g.version.Load())
+	return ng
 }
 
 // ApproxBytes estimates the resident size of the topology (vertex/edge

@@ -164,9 +164,20 @@ type Metrics struct {
 	// control (they never started executing).
 	ShedAdmissions Counter
 
-	// LockWaitNS accumulates time statements spent waiting for the engine
-	// statement lock before executing.
-	LockWaitNS Counter
+	// LockReadWaitNS / LockWriteWaitNS split statement lock-wait time by
+	// side: read-only statements (version pin — effectively zero under
+	// MVCC) and mutating statements (the exclusive engine lock). The
+	// historical combined `lock.wait_ns` key is emitted as their sum.
+	LockReadWaitNS  Counter
+	LockWriteWaitNS Counter
+
+	// MVCC version lifecycle: versions published by mutating statements,
+	// retained (still pinned or current) versions, the current version
+	// sequence number, and readers currently holding a pin.
+	MVCCPublished     Counter
+	MVCCVersionsLive  Gauge
+	MVCCSeq           Gauge
+	MVCCPinnedReaders Gauge
 
 	// SlowQueries counts statements that crossed the slow-query threshold.
 	SlowQueries Counter
@@ -277,7 +288,13 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 		KV{"latency.p99_us", m.Latency.QuantileUS(0.99)},
 		KV{"latency.max_us", m.Latency.MaxUS()},
 		KV{"admission.shed", m.ShedAdmissions.Value()},
-		KV{"lock.wait_ns", m.LockWaitNS.Value()},
+		KV{"lock.read_wait_ns", m.LockReadWaitNS.Value()},
+		KV{"lock.write_wait_ns", m.LockWriteWaitNS.Value()},
+		KV{"lock.wait_ns", m.LockReadWaitNS.Value() + m.LockWriteWaitNS.Value()},
+		KV{"mvcc.published", m.MVCCPublished.Value()},
+		KV{"mvcc.versions_live", m.MVCCVersionsLive.Value()},
+		KV{"mvcc.seq", m.MVCCSeq.Value()},
+		KV{"mvcc.pinned_readers", m.MVCCPinnedReaders.Value()},
 		KV{"graph.maint_ops", maintTotal},
 		KV{"graph.stats_refreshes", m.StatsRefreshes.Value()},
 		KV{"analytics.runs", m.AnalyticsRuns.Value()},

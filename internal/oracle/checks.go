@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"grfusion/internal/baselines/grail"
 	"grfusion/internal/baselines/graphstore"
@@ -316,6 +317,9 @@ func (sc *scenario) checkBatch(eng *core.Engine, st *datagen.GraphState, rng *ra
 		return v
 	}
 	if v := sc.checkSnapshot(eng); v != nil {
+		return v
+	}
+	if v := sc.checkIsolation(eng, rng); v != nil {
 		return v
 	}
 	return nil
@@ -659,6 +663,165 @@ func (sc *scenario) checkSnapshot(eng *core.Engine) *Violation {
 		if !sameRows(renderRows(r1, true), renderRows(r2, true)) {
 			return violationf("snapshot-roundtrip", "%q differs across round-trip", q)
 		}
+	}
+	return nil
+}
+
+// checkIsolation is the MVCC snapshot-isolation oracle. Writers serialize
+// and each successful statement publishes exactly one version, so the only
+// edge sets a concurrent reader may legally observe during a sequential
+// insert storm are the pre-storm set plus a PREFIX of the storm's edges —
+// one published version each. Readers poll the edge facet while the storm
+// runs; any non-prefix observation (an edge visible before its
+// predecessor, a pre-storm edge missing, a phantom) is a torn read across
+// versions. The differential closes against the quiesced engine: once the
+// storm finishes, the facet and a from-scratch topology rebuild must both
+// equal the full set. The storm runs on a scratch engine restored from the
+// round's current state, so the round engine and model stay untouched.
+func (sc *scenario) checkIsolation(eng *core.Engine, rng *rand.Rand) *Violation {
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		return violationf("isolation", "snapshot: %v", err)
+	}
+	e2 := core.New(core.Options{Workers: sc.workers})
+	if err := e2.Restore(&buf); err != nil {
+		return violationf("isolation", "restore: %v", err)
+	}
+
+	edgeQ := fmt.Sprintf("SELECT ES.ID FROM %s.Edges ES", sc.gv)
+	readEdgeIDs := func() (map[int64]bool, error) {
+		res, err := e2.Execute(edgeQ)
+		if err != nil {
+			return nil, err
+		}
+		ids := make(map[int64]bool, len(res.Rows))
+		for _, r := range res.Rows {
+			ids[r[0].I] = true
+		}
+		return ids, nil
+	}
+	pre, err := readEdgeIDs()
+	if err != nil {
+		return violationf("isolation", "baseline %q: %v", edgeQ, err)
+	}
+
+	// Concurrent readers: poll the facet until told to stop, recording
+	// every observation. The rng only varies the storm's ID base; reader
+	// scheduling is free-running — the check cannot false-positive on an
+	// unlucky interleaving, every interleaving must still be some prefix.
+	type obs struct {
+		ids map[int64]bool
+		err error
+	}
+	var (
+		obsMu        sync.Mutex
+		observations []obs
+		wg           sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids, err := readEdgeIDs()
+				obsMu.Lock()
+				observations = append(observations, obs{ids: ids, err: err})
+				obsMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	stopped := false
+	stopReaders := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+			wg.Wait()
+		}
+	}
+	defer stopReaders()
+
+	// The storm: a chain of fresh vertices, each wired to the previous by
+	// a fresh edge. IDs sit far above anything the workload generators
+	// produce, so the inserts are always valid.
+	const stormLen = 10
+	base := int64(9_000_000) + int64(rng.Intn(1000))*1000
+	if _, err := e2.Execute(fmt.Sprintf("INSERT INTO %s VALUES %s", sc.vt,
+		sc.vertexValues(datagen.Vertex{ID: base, Name: "iso0"}))); err != nil {
+		return violationf("isolation", "storm vertex: %v", err)
+	}
+	stormEdges := make([]int64, 0, stormLen)
+	for i := 1; i <= stormLen; i++ {
+		vid := base + int64(i)
+		if _, err := e2.Execute(fmt.Sprintf("INSERT INTO %s VALUES %s", sc.vt,
+			sc.vertexValues(datagen.Vertex{ID: vid, Name: fmt.Sprintf("iso%d", i)}))); err != nil {
+			return violationf("isolation", "storm vertex: %v", err)
+		}
+		eid := base + int64(i)
+		if _, err := e2.Execute(fmt.Sprintf("INSERT INTO %s VALUES %s", sc.et,
+			sc.edgeValues(datagen.Edge{ID: eid, Src: vid - 1, Dst: vid, Weight: 1, Sel: 50, Label: "x"}))); err != nil {
+			return violationf("isolation", "storm edge: %v", err)
+		}
+		stormEdges = append(stormEdges, eid)
+	}
+	stopReaders()
+
+	for _, o := range observations {
+		if o.err != nil {
+			return violationf("isolation", "concurrent reader: %v", o.err)
+		}
+		n := 0
+		for _, eid := range stormEdges {
+			if o.ids[eid] {
+				n++
+			}
+		}
+		for i, eid := range stormEdges {
+			if o.ids[eid] != (i < n) {
+				return violationf("isolation",
+					"torn read: %d storm edges visible but edge #%d (%d) breaks the prefix", n, i, eid)
+			}
+		}
+		for eid := range pre {
+			if !o.ids[eid] {
+				return violationf("isolation", "torn read: pre-storm edge %d missing mid-storm", eid)
+			}
+		}
+		if len(o.ids) != len(pre)+n {
+			return violationf("isolation",
+				"torn read: observed %d edges, want %d pre-storm + %d storm prefix",
+				len(o.ids), len(pre), n)
+		}
+	}
+
+	// Quiesced close: the facet equals the full set and agrees with a
+	// from-scratch rebuild of the scratch engine's topology.
+	post, err := readEdgeIDs()
+	if err != nil {
+		return violationf("isolation", "quiesced %q: %v", edgeQ, err)
+	}
+	if len(post) != len(pre)+stormLen {
+		return violationf("isolation", "quiesced facet has %d edges, want %d", len(post), len(pre)+stormLen)
+	}
+	live, err := e2.GraphTopology(sc.gv)
+	if err != nil {
+		return violationf("isolation", "live topology: %v", err)
+	}
+	rebuilt, err := e2.RebuildGraphView(sc.gv)
+	if err != nil {
+		return violationf("isolation", "rebuild: %v", err)
+	}
+	if a, b := graphSig(live, true), graphSig(rebuilt, true); a != b {
+		return violationf("isolation",
+			"post-storm topology diverged from rebuild: %s", diffSigs("live", a, "rebuilt", b))
 	}
 	return nil
 }

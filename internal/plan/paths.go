@@ -31,6 +31,7 @@ func (p *Planner) attachPathScan(s *sql.Select, tree exec.Operator, fi *fromInfo
 
 	spec := exec.PathScanSpec{
 		GV:     fi.gv,
+		At:     fi.at,
 		Alias:  fi.alias,
 		MinLen: 1,
 		KPaths: 1,
@@ -270,7 +271,7 @@ func (p *Planner) choosePhysical(s *sql.Select, fi *fromInfo, spec *exec.PathSca
 	// published statistics object when the backend refresher is running
 	// (§6.3), otherwise from the live O(1) average.
 	if spec.MaxLen > 0 {
-		f := fi.gv.G.AvgFanOut()
+		f := fi.topo().AvgFanOut()
 		// FreshStats (not Stats) so statistics that predate a rebuild or
 		// heavy DML cannot steer the choice; stale objects fall back to
 		// the live average.
@@ -306,11 +307,20 @@ func (p *Planner) chooseLayout(fi *fromInfo) exec.Layout {
 	case "ptr":
 		return exec.LayoutPtr
 	}
-	g := fi.gv.G
+	g := fi.topo()
 	if g.NumVertices()+g.NumEdges() >= csrMinSize {
 		return exec.LayoutCSR
 	}
 	return exec.LayoutPtr
+}
+
+// topo returns the topology instance this item's plan reads: the pinned
+// version when the planner carries a pin, else the live graph.
+func (fi *fromInfo) topo() *graph.Graph {
+	if fi.at != nil {
+		return fi.at.G
+	}
+	return fi.gv.G
 }
 
 func topK(s *sql.Select) int {

@@ -44,14 +44,47 @@ type Options struct {
 	MaterializeJoins bool
 }
 
+// Pin exposes one immutable engine version to the planner: the row view of
+// each table and the topology binding of each graph view as of that
+// version. A plan built with a Pin reads only pinned state at execution
+// time, so it runs without the engine lock while writers publish newer
+// versions. A nil Pin plans against the live objects (the writer side and
+// single-threaded embedders).
+type Pin interface {
+	// Seq identifies the pinned version (monotonically increasing).
+	Seq() uint64
+	// Table returns the pinned row view of t.
+	Table(t *storage.Table) storage.RowView
+	// GraphView returns the pinned binding of gv.
+	GraphView(gv *catalog.GraphView) *catalog.GraphViewAt
+}
+
 // Planner builds QEPs against a catalog.
 type Planner struct {
 	Cat  *catalog.Catalog
 	Opts Options
+	// Pin, when set, binds every scan in the plan to one engine version.
+	Pin Pin
 }
 
 // New creates a planner with default options.
 func New(cat *catalog.Catalog) *Planner { return &Planner{Cat: cat} }
+
+// pinRows returns the pinned row view of t, or nil when planning live.
+func (p *Planner) pinRows(t *storage.Table) storage.RowView {
+	if p.Pin == nil {
+		return nil
+	}
+	return p.Pin.Table(t)
+}
+
+// pinView returns the pinned binding of gv, or nil when planning live.
+func (p *Planner) pinView(gv *catalog.GraphView) *catalog.GraphViewAt {
+	if p.Pin == nil {
+		return nil
+	}
+	return p.Pin.GraphView(gv)
+}
 
 // fromKind classifies a FROM item.
 type fromKind uint8
@@ -70,7 +103,17 @@ type fromInfo struct {
 	kind   fromKind
 	table  *storage.Table
 	gv     *catalog.GraphView
+	at     *catalog.GraphViewAt // pinned binding of gv (nil when planning live)
 	schema *types.Schema
+}
+
+// acc returns the attribute accessor plans should dereference the view
+// through: the pinned binding when present, else the live view.
+func (fi *fromInfo) acc() expr.GraphAccessor {
+	if fi.at != nil {
+		return fi.at
+	}
+	return fi.gv
 }
 
 // PlanSelect compiles a SELECT into an executable operator tree.
@@ -80,21 +123,24 @@ func (p *Planner) PlanSelect(s *sql.Select) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Global schema + path bindings, used to classify predicates.
+	// Global schema + path bindings, used to classify predicates. Path
+	// attribute dereferences go through the pinned accessor when planning
+	// against a pinned version.
 	global := types.NewSchema()
-	gvByAlias := map[string]*catalog.GraphView{}
-	for _, fi := range infos {
+	accByAlias := map[string]expr.GraphAccessor{}
+	for i := range infos {
+		fi := &infos[i]
 		global = global.Concat(fi.schema)
 		if fi.kind == kindPaths {
-			gvByAlias[strings.ToLower(fi.alias)] = fi.gv
+			accByAlias[strings.ToLower(fi.alias)] = fi.acc()
 		}
 	}
 	binderFor := func(schema *types.Schema) *expr.Binder {
 		b := expr.NewBinder(schema)
 		for i, c := range schema.Columns {
 			if c.Type == types.KindPath && strings.EqualFold(c.Name, catalog.PathColumn) {
-				if gv, ok := gvByAlias[strings.ToLower(c.Qualifier)]; ok {
-					b.WithPath(c.Qualifier, expr.PathBinding{Col: i, Acc: gv})
+				if acc, ok := accByAlias[strings.ToLower(c.Qualifier)]; ok {
+					b.WithPath(c.Qualifier, expr.PathBinding{Col: i, Acc: acc})
 				}
 			}
 		}
@@ -226,6 +272,7 @@ func (p *Planner) resolveFrom(items []sql.FromItem) ([]fromInfo, error) {
 				return nil, fmt.Errorf("unknown graph view %q", item.Name)
 			}
 			fi.gv = gv
+			fi.at = p.pinView(gv)
 			switch item.Member {
 			case sql.MemberVertexes:
 				fi.kind = kindVertexes
@@ -288,20 +335,26 @@ func (p *Planner) buildScan(fi *fromInfo, conj []expr.Expr,
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewVertexScan(fi.gv, fi.alias, f), nil
+		vs := exec.NewVertexScan(fi.gv, fi.alias, f)
+		vs.At = fi.at
+		return vs, nil
 	case kindEdges:
 		f, err := bindLocal(conj)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewEdgeScan(fi.gv, fi.alias, f), nil
+		es := exec.NewEdgeScan(fi.gv, fi.alias, f)
+		es.At = fi.at
+		return es, nil
 	case kindAnalytics:
 		f, err := bindLocal(conj)
 		if err != nil {
 			return nil, err
 		}
 		fn, _ := exec.AnalyticsFuncByName(fi.item.Func)
-		return exec.NewAnalyticsScan(fi.gv, fi.alias, fn, fi.item.Args, p.chooseLayout(fi), f), nil
+		as := exec.NewAnalyticsScan(fi.gv, fi.alias, fn, fi.item.Args, p.chooseLayout(fi), f)
+		as.At = fi.at
+		return as, nil
 	}
 
 	// Table: try an index point lookup on `col = literal`.
@@ -336,7 +389,9 @@ func (p *Planner) buildScan(fi *fromInfo, conj []expr.Expr,
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewIndexScan(fi.table, fi.alias, ix, []expr.Expr{lit}, f), nil
+		is := exec.NewIndexScan(fi.table, fi.alias, ix, []expr.Expr{lit}, f)
+		is.Rows = p.pinRows(fi.table)
+		return is, nil
 	}
 
 	// Range predicates over an ordered index: accumulate the bounds of the
@@ -406,15 +461,19 @@ func (p *Planner) buildScan(fi *fromInfo, conj []expr.Expr,
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewIndexRangeScan(fi.table, fi.alias, ix,
-			rb.lo, rb.hi, rb.loInc, rb.hiInc, f), nil
+		rs := exec.NewIndexRangeScan(fi.table, fi.alias, ix,
+			rb.lo, rb.hi, rb.loInc, rb.hiInc, f)
+		rs.Rows = p.pinRows(fi.table)
+		return rs, nil
 	}
 
 	f, err := bindLocal(conj)
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewSeqScan(fi.table, fi.alias, f), nil
+	ss := exec.NewSeqScan(fi.table, fi.alias, f)
+	ss.Rows = p.pinRows(fi.table)
+	return ss, nil
 }
 
 func isRangeOp(op expr.BinOp) bool {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sort"
+	"sync"
 
 	"grfusion/internal/types"
 )
@@ -9,10 +10,18 @@ import (
 // Index is a secondary access path over a table. A hash index supports
 // point lookups; an ordered index additionally supports range scans.
 // Indexes are non-unique: one key may map to many RowIDs.
+//
+// Maintenance (insert/remove/clear) is serialized by the engine's writer
+// lock, but lock-free readers may consult the index concurrently, so all
+// access goes through mu. Readers detect in-flight maintenance by
+// re-checking the owning table's version around Lookup/Range and fall
+// back to scanning their pinned snapshot on a mismatch.
 type Index struct {
 	name    string
 	cols    []int
 	ordered bool
+
+	mu sync.RWMutex
 
 	hash map[string][]RowID
 
@@ -61,6 +70,8 @@ func compareKeys(a, b types.Row) int {
 }
 
 func (ix *Index) insert(row types.Row, id RowID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	key := ix.keyOf(row)
 	if !ix.ordered {
 		ks := types.KeyOf(row, ix.cols)
@@ -78,6 +89,8 @@ func (ix *Index) insert(row types.Row, id RowID) {
 }
 
 func (ix *Index) remove(row types.Row, id RowID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if !ix.ordered {
 		ks := types.KeyOf(row, ix.cols)
 		ids := ix.hash[ks]
@@ -106,6 +119,8 @@ func (ix *Index) remove(row types.Row, id RowID) {
 }
 
 func (ix *Index) clear() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if !ix.ordered {
 		ix.hash = make(map[string][]RowID)
 	}
@@ -113,14 +128,22 @@ func (ix *Index) clear() {
 }
 
 // Lookup returns the RowIDs whose indexed columns equal key, in
-// deterministic order. The returned slice must not be mutated.
+// deterministic order. The returned slice is the caller's to keep: it
+// never aliases index internals, so it stays valid across concurrent
+// maintenance.
 func (ix *Index) Lookup(key types.Row) []RowID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if !ix.ordered {
 		idx := make([]int, len(key))
 		for i := range key {
 			idx[i] = i
 		}
-		return ix.hash[types.KeyOf(key, idx)]
+		ids := ix.hash[types.KeyOf(key, idx)]
+		if len(ids) == 0 {
+			return nil
+		}
+		return append([]RowID(nil), ids...)
 	}
 	var out []RowID
 	ix.rangeScan(key, key, true, true, func(id RowID) bool {
@@ -144,6 +167,8 @@ func (ix *Index) Range(lo, hi Bound, fn func(id RowID) bool) {
 	if !ix.ordered {
 		panic("storage: Range on hash index " + ix.name)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ix.rangeScan(lo.Key, hi.Key, lo.Inclusive, hi.Inclusive, fn)
 }
 
@@ -151,7 +176,7 @@ func (ix *Index) rangeScan(lo, hi types.Row, loInc, hiInc bool, fn func(id RowID
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(ix.entries), func(i int) bool {
-			c := comparePrefix(ix.entries[i].key, lo)
+			c := ComparePrefix(ix.entries[i].key, lo)
 			if loInc {
 				return c >= 0
 			}
@@ -160,7 +185,7 @@ func (ix *Index) rangeScan(lo, hi types.Row, loInc, hiInc bool, fn func(id RowID
 	}
 	for i := start; i < len(ix.entries); i++ {
 		if hi != nil {
-			c := comparePrefix(ix.entries[i].key, hi)
+			c := ComparePrefix(ix.entries[i].key, hi)
 			if c > 0 || (c == 0 && !hiInc) {
 				return
 			}
@@ -171,9 +196,11 @@ func (ix *Index) rangeScan(lo, hi types.Row, loInc, hiInc bool, fn func(id RowID
 	}
 }
 
-// comparePrefix compares only the first len(b) columns of a against b,
-// allowing range scans on a prefix of a multi-column index.
-func comparePrefix(a, b types.Row) int {
+// ComparePrefix compares only the first len(b) columns of a against b,
+// allowing range scans on a prefix of a multi-column index. Pinned
+// readers use it to apply index bounds as a snapshot-scan filter when a
+// concurrent write forces them off the live index.
+func ComparePrefix(a, b types.Row) int {
 	n := len(b)
 	if len(a) < n {
 		n = len(a)
@@ -188,6 +215,8 @@ func comparePrefix(a, b types.Row) int {
 
 // Len returns the number of entries in the index.
 func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if !ix.ordered {
 		n := 0
 		for _, ids := range ix.hash {

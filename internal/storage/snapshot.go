@@ -1,0 +1,109 @@
+package storage
+
+import "grfusion/internal/types"
+
+// RowView is a read-only view of a table's slots: either the live table
+// itself (single-threaded callers, writer-side execution) or an immutable
+// TableSnap pinned by a reader. Plans scan and dereference tuple pointers
+// through this interface so the same operators serve both sides.
+type RowView interface {
+	// Get returns the tuple in the given slot, or false if the slot is
+	// free or out of range.
+	Get(id RowID) (types.Row, bool)
+	// Scan calls fn for every live tuple in slot order until fn returns
+	// false.
+	Scan(fn func(id RowID, row types.Row) bool)
+	// Len returns the number of live tuples.
+	Len() int
+}
+
+var (
+	_ RowView = (*Table)(nil)
+	_ RowView = (*TableSnap)(nil)
+)
+
+// TableSnap is an immutable snapshot of a table's visible rows, taken by
+// the writer at version-publish time. It aliases the table's row array
+// with a capacity-clamped slice, so taking one is O(1); the table's
+// mutators copy the array before the first in-place slot write after a
+// snapshot (appends extend past the clamp and are invisible to it).
+// A TableSnap is safe for concurrent use without locks.
+type TableSnap struct {
+	t       *Table
+	rows    []types.Row
+	live    int
+	version uint64
+}
+
+// Snapshot returns an immutable view of the table's current rows. The
+// snapshot is cached and reused while the table's version is unchanged.
+// Callers must hold the table's writer exclusively (the engine's write
+// lock); the returned snapshot itself needs no locking.
+func (t *Table) Snapshot() *TableSnap {
+	v := t.version.Load()
+	if t.snap != nil && t.snap.version == v {
+		return t.snap
+	}
+	s := &TableSnap{
+		t:       t,
+		rows:    t.rows[:len(t.rows):len(t.rows)],
+		live:    t.live,
+		version: v,
+	}
+	t.snap = s
+	t.sharedLen = len(t.rows)
+	return s
+}
+
+// ensurePrivate copies the row array before an in-place write to slot i
+// (0-based) that a live snapshot may alias. Appends never need it: the
+// snapshot's slice is capacity-clamped, so growth past its length is
+// invisible to it.
+func (t *Table) ensurePrivate(i int) {
+	if i >= t.sharedLen {
+		return
+	}
+	rows := make([]types.Row, len(t.rows))
+	copy(rows, t.rows)
+	t.rows = rows
+	t.sharedLen = 0
+}
+
+// Table returns the table the snapshot was taken from.
+func (s *TableSnap) Table() *Table { return s.t }
+
+// Version returns the table version the snapshot captured.
+func (s *TableSnap) Version() uint64 { return s.version }
+
+// LiveVersion returns the current version of the underlying table. Pinned
+// index scans compare it against Version to detect concurrent mutation
+// and fall back to a snapshot scan.
+func (s *TableSnap) LiveVersion() uint64 { return s.t.version.Load() }
+
+// Get returns the tuple in the given slot as of the snapshot.
+func (s *TableSnap) Get(id RowID) (types.Row, bool) {
+	if id == InvalidRowID || int(id) > len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[id-1]
+	return r, r != nil
+}
+
+// RowValues implements the tuple-source interface used by the expression
+// evaluator to dereference tuple pointers held by graph views.
+func (s *TableSnap) RowValues(id uint64) (types.Row, bool) { return s.Get(RowID(id)) }
+
+// Scan calls fn for every live tuple in slot order until fn returns false.
+func (s *TableSnap) Scan(fn func(id RowID, row types.Row) bool) {
+	for i, r := range s.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RowID(i+1), r) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live tuples as of the snapshot.
+func (s *TableSnap) Len() int { return s.live }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"grfusion/internal/types"
@@ -26,8 +27,12 @@ type RowID uint64
 const InvalidRowID RowID = 0
 
 // Table is an in-memory relation with optional primary key and secondary
-// indexes. Tables are not internally synchronized: the engine serializes
-// all access (VoltDB's single-threaded partition execution model).
+// indexes. Mutations are not internally synchronized: the engine
+// serializes all writers (VoltDB's single-threaded partition execution
+// model). Readers that run without the engine lock never touch the live
+// row array — they pin an immutable TableSnap — so the only live state
+// they share with writers is the version counter (atomic), the secondary
+// indexes (per-index RWMutex), and the index registry (idxMu).
 type Table struct {
 	name   string
 	schema *types.Schema
@@ -37,12 +42,26 @@ type Table struct {
 	free []RowID
 	live int
 
+	// snap caches the latest snapshot; rows[:sharedLen] is aliased by it,
+	// so in-place writes below sharedLen copy the array first
+	// (ensurePrivate). Both are writer-side state guarded by the engine
+	// write lock.
+	snap      *TableSnap
+	sharedLen int
+
 	pkCols []int // column indexes of the primary key; empty if none
 	pk     map[string]RowID
 
+	// idxMu guards the indexes registry: lock-free readers resolve access
+	// paths (FindIndexOn) concurrently with CREATE/DROP INDEX.
+	idxMu   sync.RWMutex
 	indexes map[string]*Index
 
-	// version counts mutations; cursors use it to detect invalidation.
+	// version counts mutations; cursors use it to detect invalidation and
+	// pinned index scans use it to detect concurrent writes. Mutators bump
+	// it BEFORE touching rows/pk/indexes so a reader that observes
+	// unchanged versions around an index read is guaranteed the index
+	// matched its snapshot.
 	version atomic.Uint64
 }
 
@@ -122,10 +141,12 @@ func (t *Table) Insert(row types.Row) (RowID, error) {
 				t.name, describeKey(row, t.pkCols))
 		}
 	}
+	t.version.Add(1)
 	var id RowID
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
 		t.free = t.free[:n-1]
+		t.ensurePrivate(int(id - 1))
 		t.rows[id-1] = row
 	} else {
 		t.rows = append(t.rows, row)
@@ -138,7 +159,6 @@ func (t *Table) Insert(row types.Row) (RowID, error) {
 		ix.insert(row, id)
 	}
 	t.live++
-	t.version.Add(1)
 	return id, nil
 }
 
@@ -184,26 +204,30 @@ func (t *Table) Update(id RowID, row types.Row) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
+	var oldKey, newKey string
 	if t.pk != nil {
-		oldKey := types.KeyOf(old, t.pkCols)
-		newKey := types.KeyOf(row, t.pkCols)
+		oldKey = types.KeyOf(old, t.pkCols)
+		newKey = types.KeyOf(row, t.pkCols)
 		if oldKey != newKey {
 			if _, dup := t.pk[newKey]; dup {
 				return fmt.Errorf("table %s: duplicate primary key %s",
 					t.name, describeKey(row, t.pkCols))
 			}
-			delete(t.pk, oldKey)
-			t.pk[newKey] = id
 		}
+	}
+	t.version.Add(1)
+	if t.pk != nil && oldKey != newKey {
+		delete(t.pk, oldKey)
+		t.pk[newKey] = id
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
+	t.ensurePrivate(int(id - 1))
 	t.rows[id-1] = row
 	for _, ix := range t.indexes {
 		ix.insert(row, id)
 	}
-	t.version.Add(1)
 	return nil
 }
 
@@ -213,16 +237,17 @@ func (t *Table) Delete(id RowID) error {
 	if !ok {
 		return fmt.Errorf("table %s: delete of dead row id %d", t.name, id)
 	}
+	t.version.Add(1)
 	if t.pk != nil {
 		delete(t.pk, types.KeyOf(old, t.pkCols))
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
 	}
+	t.ensurePrivate(int(id - 1))
 	t.rows[id-1] = nil
 	t.free = append(t.free, id)
 	t.live--
-	t.version.Add(1)
 	return nil
 }
 
@@ -282,6 +307,7 @@ func (t *Table) RestoreSlots(rows []types.Row, free []RowID) error {
 		}
 		delete(holes, id) // each hole exactly once
 	}
+	t.version.Add(1)
 	for i, row := range rows {
 		if row == nil {
 			continue
@@ -303,8 +329,8 @@ func (t *Table) RestoreSlots(rows []types.Row, free []RowID) error {
 		t.live++
 	}
 	t.rows = rows
+	t.sharedLen = 0
 	t.free = append([]RowID(nil), free...)
-	t.version.Add(1)
 	return nil
 }
 
@@ -323,7 +349,15 @@ func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
 
 // Truncate removes every tuple.
 func (t *Table) Truncate() {
-	t.rows = t.rows[:0]
+	t.version.Add(1)
+	if t.sharedLen > 0 {
+		// A live snapshot aliases the backing array: reusing it would
+		// leak future inserts into the snapshot. Drop it instead.
+		t.rows = nil
+		t.sharedLen = 0
+	} else {
+		t.rows = t.rows[:0]
+	}
 	t.free = t.free[:0]
 	t.live = 0
 	if t.pk != nil {
@@ -332,7 +366,6 @@ func (t *Table) Truncate() {
 	for _, ix := range t.indexes {
 		ix.clear()
 	}
-	t.version.Add(1)
 }
 
 // ApproxBytes estimates the resident size of the table's tuples, used by
@@ -386,13 +419,17 @@ func (t *Table) CreateIndex(name string, cols []int, ordered bool) (*Index, erro
 		ix.insert(row, id)
 		return true
 	})
+	t.idxMu.Lock()
 	t.indexes[lname] = ix
+	t.idxMu.Unlock()
 	return ix, nil
 }
 
 // DropIndex removes the named index, reporting whether it existed.
 func (t *Table) DropIndex(name string) bool {
 	lname := strings.ToLower(name)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	_, ok := t.indexes[lname]
 	delete(t.indexes, lname)
 	return ok
@@ -408,6 +445,8 @@ type IndexInfo struct {
 
 // Indexes lists the table's secondary indexes sorted by name.
 func (t *Table) Indexes() []IndexInfo {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	names := make([]string, 0, len(t.indexes))
 	for n := range t.indexes {
 		names = append(names, n)
@@ -423,6 +462,8 @@ func (t *Table) Indexes() []IndexInfo {
 
 // Index returns the named index, if present.
 func (t *Table) Index(name string) (*Index, bool) {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	ix, ok := t.indexes[strings.ToLower(name)]
 	return ix, ok
 }
@@ -431,6 +472,8 @@ func (t *Table) Index(name string) (*Index, bool) {
 // whether it supports range scans. Hash indexes are preferred for point
 // lookups (ordered=false request); ordered indexes for range requests.
 func (t *Table) FindIndexOn(cols []int, needOrdered bool) (*Index, bool) {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	names := make([]string, 0, len(t.indexes))
 	for n := range t.indexes {
 		names = append(names, n)
