@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench metrics csr analytics mvcc oracle chaos diskchaos recover durbench fmt vet clean
+.PHONY: all build test race fuzz bench metrics csr analytics mvcc wire oracle chaos diskchaos recover durbench fmt vet clean
 
 all: build test
 
@@ -66,6 +66,7 @@ durbench:
 # gates it against the committed baseline (see `make mvcc`).
 bench:
 	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json -baseline BENCH_concurrency_baseline.json
+	$(GO) run ./cmd/grbench -exp wire -json BENCH_wire.json -baseline BENCH_wire_baseline.json
 
 # MVCC storm lane: the stalled-reader/deadline regression tests and the
 # versioned-read battery under the race detector, the race-gated
@@ -80,6 +81,19 @@ mvcc:
 		./internal/core
 	$(GO) test -race -v -timeout 8m -run 'TestMVCCStorm' ./internal/bench
 	$(GO) run ./cmd/grbench -exp concurrency -queries 5 -json BENCH_concurrency.json -baseline BENCH_concurrency_baseline.json
+
+# Wire-protocol lane: the negotiation matrix, pipelining, prepared-over-
+# wire, COPY ingest, pool, and frame-corruption tests under the race
+# detector, then the wire benchmark with its regression gate — the run
+# fails if pipelined point-query throughput drops under 3x the JSON
+# round-trip rate, if COPY ingest drops under 20x per-statement inserts
+# or under the committed absolute floor (halved on a one-core host), or
+# if either ratio collapses vs BENCH_wire_baseline.json.
+wire:
+	$(GO) test -race -v -timeout 8m \
+		-run 'TestNegotiation|TestClientOneWrite|TestPipeline|TestPrepared|TestCopyIn|TestOversizedFrame|TestFramedTraffic|TestPool' \
+		./internal/server ./internal/wire
+	$(GO) run ./cmd/grbench -exp wire -json BENCH_wire.json -baseline BENCH_wire_baseline.json
 
 # Observability overhead: proves the metrics layer is free when idle and
 # that armed slow-query instrumentation stays within a few percent on real
@@ -111,4 +125,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_concurrency.json BENCH_observability.json BENCH_csr.json BENCH_analytics.json ORACLE_repro.sql
+	rm -f BENCH_concurrency.json BENCH_observability.json BENCH_csr.json BENCH_analytics.json BENCH_wire.json ORACLE_repro.sql

@@ -101,6 +101,8 @@ func main() {
 			check = bench.CheckAnalyticsBaseline
 		case "concurrency":
 			check = bench.CheckConcurrencyBaseline
+		case "wire":
+			check = bench.CheckWireBaseline
 		}
 		if err := check(*baseline, rows, 0.10); err != nil {
 			fmt.Fprintf(os.Stderr, "grbench: %v\n", err)

@@ -632,6 +632,7 @@ func All(cfg Config) []Row {
 	rows = append(rows, AnalyticsBench(cfg)...)
 	rows = append(rows, DurabilityBench(cfg)...)
 	rows = append(rows, DiskFaultBench(cfg)...)
+	rows = append(rows, WireBench(cfg)...)
 	return rows
 }
 
@@ -651,4 +652,5 @@ var Experiments = map[string]func(Config) []Row{
 	"analytics":     AnalyticsBench,
 	"durability":    DurabilityBench,
 	"diskfault":     DiskFaultBench,
+	"wire":          WireBench,
 }

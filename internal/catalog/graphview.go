@@ -304,6 +304,31 @@ func (gv *GraphView) ensurePrivateG() {
 	gv.sharedG = false
 }
 
+// ReserveFor presizes the view's topology for about n further rows
+// landing in the named source table (vertexes or edges side). It takes a
+// private copy of the graph first, so a bulk load immediately after a
+// publish pays its one unavoidable clone here, already sized for the
+// incoming stream. Callers hold the engine write lock, like any
+// maintenance hook.
+func (gv *GraphView) ReserveFor(table string, n int) {
+	if n <= 0 {
+		return
+	}
+	isV, isE := gv.IsVertexSource(table), gv.IsEdgeSource(table)
+	if !isV && !isE {
+		return
+	}
+	gv.ensurePrivateG()
+	var nv, ne int
+	if isV {
+		nv = n
+	}
+	if isE {
+		ne = n
+	}
+	gv.G.Reserve(nv, ne)
+}
+
 // VertexTable returns the vertexes relational-source.
 func (gv *GraphView) VertexTable() *storage.Table { return gv.vtab }
 

@@ -41,6 +41,17 @@ type Options struct {
 	// error (net.Error with Temporary() == true) before delivering the
 	// connection, exercising accept-loop retry. Zero disables it.
 	AcceptErrEvery int
+	// CorruptProb is the per-write probability of XOR-flipping one byte at
+	// a random offset of the buffer before sending it — the connection
+	// stays open and the stream stays length-preserved, so a framed peer
+	// sees a synchronized but corrupt frame. Its checksum must catch the
+	// damage; the corrupted payload must never be applied.
+	CorruptProb float64
+	// SplitProb is the per-write probability of splitting the buffer at a
+	// uniformly random byte offset into two separate writes with a small
+	// pause between them, tearing frames at arbitrary positions (headers,
+	// mid-payload, mid-CRC) to exercise the peer's partial-read handling.
+	SplitProb float64
 }
 
 // tempError is a transient fault, reported as retryable to accept loops.
@@ -124,6 +135,13 @@ func (l *Listener) Close() error {
 // Addr implements net.Listener.
 func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
 
+// WrapConn decorates a single connection with the fault schedule — the
+// client-side counterpart of Wrap, for injecting faults into outbound
+// traffic (e.g. corrupting the frames a client sends).
+func WrapConn(c net.Conn, opts Options) *Conn {
+	return &Conn{Conn: c, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
 // Conn is a net.Conn that misbehaves per its fault schedule.
 type Conn struct {
 	net.Conn
@@ -143,6 +161,24 @@ func (c *Conn) roll() (delay time.Duration, reset bool, truncate bool, frac floa
 	reset = c.opts.ResetProb > 0 && c.rng.Float64() < c.opts.ResetProb
 	truncate = c.opts.TruncateProb > 0 && c.rng.Float64() < c.opts.TruncateProb
 	frac = c.rng.Float64()
+	return
+}
+
+// rollByteFaults draws the corruption/split schedule for one write of n
+// bytes: corruptAt/splitAt are byte offsets, or -1 when not injected.
+func (c *Conn) rollByteFaults(n int) (corruptAt, splitAt int) {
+	corruptAt, splitAt = -1, -1
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.CorruptProb > 0 && c.rng.Float64() < c.opts.CorruptProb {
+		corruptAt = c.rng.Intn(n)
+	}
+	if c.opts.SplitProb > 0 && c.rng.Float64() < c.opts.SplitProb {
+		splitAt = c.rng.Intn(n)
+	}
 	return
 }
 
@@ -176,6 +212,25 @@ func (c *Conn) Write(p []byte) (int, error) {
 		n, _ := c.Conn.Write(p[:int(frac*float64(len(p)))])
 		c.Conn.Close()
 		return n, &errReset{op: "write (truncated payload)"}
+	}
+	if corruptAt, splitAt := c.rollByteFaults(len(p)); corruptAt >= 0 || splitAt >= 0 {
+		// Work on a copy: the caller's buffer must come back untouched (a
+		// retrying writer would otherwise resend our corruption).
+		q := append([]byte(nil), p...)
+		if corruptAt >= 0 {
+			q[corruptAt] ^= 0x20
+		}
+		if splitAt > 0 && splitAt < len(q) {
+			n, err := c.Conn.Write(q[:splitAt])
+			if err != nil {
+				return n, err
+			}
+			time.Sleep(200 * time.Microsecond)
+			m, err := c.Conn.Write(q[splitAt:])
+			return n + m, err
+		}
+		n, err := c.Conn.Write(q)
+		return n, err
 	}
 	if c.opts.WriteChunk > 0 {
 		var n int

@@ -90,6 +90,26 @@ type Graph struct {
 	csrMu sync.Mutex
 }
 
+// Reserve presizes the vertex and edge maps for about nv and ne further
+// insertions, so a bulk load pays one map build instead of a cascade of
+// incremental rehashes (each of which re-zeroes a fresh, larger table).
+func (g *Graph) Reserve(nv, ne int) {
+	if nv > 0 {
+		grown := make(map[int64]*Vertex, len(g.vertices)+nv)
+		for id, v := range g.vertices {
+			grown[id] = v
+		}
+		g.vertices = grown
+	}
+	if ne > 0 {
+		grown := make(map[int64]*Edge, len(g.edges)+ne)
+		for id, e := range g.edges {
+			grown[id] = e
+		}
+		g.edges = grown
+	}
+}
+
 // mutation kinds for topologyChanged.
 const (
 	changedVertices = 1 << iota

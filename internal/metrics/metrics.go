@@ -215,6 +215,12 @@ type Metrics struct {
 	HealAttempts       Counter
 	Heals              Counter
 	DegradedWrites     Counter
+
+	// Bulk-ingest counters (core.BulkLoad, fed by the wire COPY command):
+	// loads opened, batches applied, and rows applied.
+	BulkLoads   Counter
+	BulkBatches Counter
+	BulkRows    Counter
 }
 
 // CountStatement records one completed statement of the given kind with
@@ -310,6 +316,9 @@ func (m *Metrics) Snapshot(views []GraphViewStats) []KV {
 		KV{"durability.heal_attempts", m.HealAttempts.Value()},
 		KV{"durability.heals", m.Heals.Value()},
 		KV{"durability.degraded_writes", m.DegradedWrites.Value()},
+		KV{"bulk.loads", m.BulkLoads.Value()},
+		KV{"bulk.batches", m.BulkBatches.Value()},
+		KV{"bulk.rows", m.BulkRows.Value()},
 	)
 	for _, gv := range views {
 		p := "graphview." + gv.Name + "."

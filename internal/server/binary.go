@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"grfusion/internal/core"
+	"grfusion/internal/types"
+	"grfusion/internal/wire"
+)
+
+// The binary protocol handler: after the hello exchange the connection
+// becomes a pipelined frame stream. A reader goroutine pulls frames off
+// the socket into a bounded channel while a single executor drains it in
+// order, so a client may send many requests without waiting for
+// responses — responses always come back in request order (the executor
+// is the per-connection serialization point) and the shared output
+// writer is flushed only when the pipeline runs dry, batching many small
+// responses into few syscalls.
+
+// binPipelineDepth bounds how many undispatched frames a connection may
+// buffer. Deep enough to keep a pipelining client busy, shallow enough
+// that a COPY stream of 16 MiB frames cannot balloon memory.
+const binPipelineDepth = 64
+
+// binItem is one unit of work handed from the reader to the executor.
+type binItem struct {
+	kind    byte
+	payload []byte
+	// tooLarge is the declared length of an oversized frame whose payload
+	// was discarded; the executor answers it with a diagnostic.
+	tooLarge int
+	// err is a terminal read failure; always the last item delivered.
+	err error
+}
+
+// preparedEntry is one server-side prepared statement; exactly one of
+// sel/dml is set.
+type preparedEntry struct {
+	sel *core.Prepared
+	dml *core.PreparedDML
+}
+
+// copyState is an open COPY bulk load.
+type copyState struct {
+	bl      *core.BulkLoad
+	width   int
+	release func() // admission token, held for the load's duration
+	// failErr records the first failed batch; once set, subsequent
+	// MsgCopyData frames are discarded and MsgCopyEnd reports the error.
+	failErr error
+	applied int // rows applied before the failure
+}
+
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader, v byte) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	flush := func() bool {
+		if bw.Buffered() == 0 {
+			return true
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		return bw.Flush() == nil
+	}
+	// Handshake ack: our protocol version (already capped by the caller).
+	if err := wire.WriteFrame(bw, wire.MsgHello, []byte{v}); err != nil || !flush() {
+		return
+	}
+
+	// Reader goroutine: socket → bounded channel. It owns the read
+	// deadline; Shutdown wakes it by expiring that deadline.
+	done := make(chan struct{})
+	defer close(done)
+	frames := make(chan binItem, binPipelineDepth)
+	go func() {
+		defer close(frames)
+		for {
+			if s.cfg.IdleTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			}
+			var it binItem
+			kind, payload, err := wire.ReadFrame(br)
+			var tooBig *wire.FrameTooLargeError
+			switch {
+			case errors.As(err, &tooBig):
+				// The length prefix was valid, so the stream stays
+				// synchronized: skip the payload and let the executor answer
+				// with a diagnostic in order.
+				if derr := wire.DiscardFrame(br, tooBig.Len); derr != nil {
+					it = binItem{err: derr}
+				} else {
+					it = binItem{tooLarge: tooBig.Len}
+				}
+			case err != nil:
+				it = binItem{err: err}
+			default:
+				it = binItem{kind: kind, payload: payload}
+			}
+			select {
+			case frames <- it:
+			case <-done:
+				return
+			}
+			if it.err != nil {
+				return
+			}
+		}
+	}()
+
+	st := &binConn{s: s, prepared: make(map[uint64]preparedEntry)}
+	// Whatever ends this connection — clean close, write failure, drain —
+	// an open bulk load must be closed so the engine write lock and the
+	// admission token it holds are released.
+	defer st.abandonCopy()
+
+	for {
+		var it binItem
+		var ok bool
+		select {
+		case it, ok = <-frames:
+		default:
+			// Pipeline ran dry: flush buffered responses before blocking.
+			if !flush() {
+				return
+			}
+			it, ok = <-frames
+		}
+		if !ok {
+			flush()
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			flush()
+			return
+		}
+		if it.err != nil {
+			// CRC mismatch or malformed framing is terminal (the stream may
+			// be desynchronized) but worth one best-effort diagnostic.
+			if errors.Is(it.err, wire.ErrBadCRC) || errors.Is(it.err, wire.ErrBadMessage) {
+				p := wire.AppendError(nil, fmt.Sprintf("bad frame: %v", it.err), false, false)
+				wire.WriteFrame(bw, wire.MsgError, p)
+			}
+			flush()
+			return
+		}
+		if it.tooLarge > 0 {
+			p := wire.AppendError(nil, fmt.Sprintf(
+				"request too large: one frame is limited to %d bytes (got %d)",
+				wire.MaxFrameBytes, it.tooLarge), false, false)
+			if err := wire.WriteFrame(bw, wire.MsgError, p); err != nil {
+				return
+			}
+			continue
+		}
+		if err := st.dispatch(bw, it.kind, it.payload); err != nil {
+			return
+		}
+	}
+}
+
+// binConn is the per-connection binary protocol state.
+type binConn struct {
+	s        *Server
+	prepared map[uint64]preparedEntry
+	nextID   uint64
+	copy     *copyState
+}
+
+// abandonCopy closes an open bulk load without reporting (used when the
+// connection dies mid-COPY): applied batches stay applied, exactly as a
+// crash before MsgCopyEnd would leave them after WAL replay.
+func (c *binConn) abandonCopy() {
+	if c.copy == nil {
+		return
+	}
+	if c.copy.failErr == nil {
+		c.copy.bl.Close()
+	}
+	c.copy.release()
+	c.copy = nil
+}
+
+// dispatch executes one frame and writes its response (if the kind has
+// one) to bw. The returned error is terminal for the connection; protocol
+// and statement errors are reported in-band as MsgError frames.
+func (c *binConn) dispatch(bw *bufio.Writer, kind byte, payload []byte) (err error) {
+	// Panic isolation, mirroring serveLine: one poisoned statement becomes
+	// an error response, not a dead server.
+	defer func() {
+		if r := recover(); r != nil {
+			c.s.logf("server: recovered statement panic: %v\n%s", r, debug.Stack())
+			p := wire.AppendError(nil, fmt.Sprintf("internal error: statement aborted by panic: %v", r), false, false)
+			err = wire.WriteFrame(bw, wire.MsgError, p)
+		}
+	}()
+	switch kind {
+	case wire.MsgQuery:
+		query, timeoutMS, derr := wire.DecodeQuery(payload)
+		if derr != nil {
+			return c.sendError(bw, &execError{msg: fmt.Sprintf("bad request: %v", derr)})
+		}
+		res, ee := c.s.executeCore(query, timeoutMS)
+		if ee != nil {
+			return c.sendError(bw, ee)
+		}
+		return c.sendResult(bw, &wire.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected})
+
+	case wire.MsgCommand:
+		cmd, rest, derr := wire.DecodeString(payload)
+		if derr != nil || len(rest) != 0 {
+			return c.sendError(bw, &execError{msg: "bad request: malformed command payload"})
+		}
+		res, ee := c.s.commandCore(cmd)
+		if ee != nil {
+			return c.sendError(bw, ee)
+		}
+		return c.sendResult(bw, res)
+
+	case wire.MsgPrepare:
+		return c.prepare(bw, payload)
+
+	case wire.MsgExecPrepared:
+		return c.execPrepared(bw, payload)
+
+	case wire.MsgClosePrepared:
+		id, rest, derr := wire.DecodeUvarint(payload)
+		if derr != nil || len(rest) != 0 {
+			return c.sendError(bw, &execError{msg: "bad request: malformed close payload"})
+		}
+		if _, ok := c.prepared[id]; !ok {
+			return c.sendError(bw, &execError{msg: fmt.Sprintf("unknown prepared statement id %d", id)})
+		}
+		delete(c.prepared, id)
+		return c.sendResult(bw, &wire.Result{})
+
+	case wire.MsgCopyBegin:
+		return c.copyBegin(bw, payload)
+
+	case wire.MsgCopyData:
+		// Not answered: the COPY stream is pipelined, errors surface at
+		// MsgCopyEnd (with how far the load got).
+		c.copyData(payload)
+		return nil
+
+	case wire.MsgCopyEnd:
+		return c.copyEnd(bw)
+
+	default:
+		return c.sendError(bw, &execError{msg: fmt.Sprintf("unexpected message kind 0x%02x", kind)})
+	}
+}
+
+func (c *binConn) sendResult(bw *bufio.Writer, r *wire.Result) error {
+	return wire.WriteFrame(bw, wire.MsgResult, wire.AppendResult(nil, r))
+}
+
+func (c *binConn) sendError(bw *bufio.Writer, ee *execError) error {
+	return wire.WriteFrame(bw, wire.MsgError, wire.AppendError(nil, ee.msg, ee.retryable, ee.degraded))
+}
+
+func (c *binConn) prepare(bw *bufio.Writer, payload []byte) error {
+	query, rest, derr := wire.DecodeString(payload)
+	if derr != nil || len(rest) != 0 {
+		return c.sendError(bw, &execError{msg: "bad request: malformed prepare payload"})
+	}
+	var entry preparedEntry
+	var pkind byte
+	var nparams int
+	var cols []string
+	if f := strings.Fields(query); len(f) > 0 && strings.EqualFold(f[0], "select") {
+		p, err := c.s.eng.Prepare(query)
+		if err != nil {
+			return c.sendError(bw, &execError{msg: err.Error()})
+		}
+		entry.sel, pkind, nparams, cols = p, wire.PreparedSelect, p.NumParams(), p.Columns()
+	} else {
+		p, err := c.s.eng.PrepareDML(query)
+		if err != nil {
+			return c.sendError(bw, &execError{msg: err.Error()})
+		}
+		entry.dml, pkind, nparams = p, wire.PreparedDML, p.NumParams()
+	}
+	c.nextID++
+	c.prepared[c.nextID] = entry
+	return wire.WriteFrame(bw, wire.MsgPrepared, wire.AppendPrepared(nil, c.nextID, pkind, nparams, cols))
+}
+
+func (c *binConn) execPrepared(bw *bufio.Writer, payload []byte) error {
+	id, timeoutMS, params, derr := wire.DecodeExecPrepared(payload)
+	if derr != nil {
+		return c.sendError(bw, &execError{msg: fmt.Sprintf("bad request: %v", derr)})
+	}
+	entry, ok := c.prepared[id]
+	if !ok {
+		return c.sendError(bw, &execError{msg: fmt.Sprintf("unknown prepared statement id %d", id)})
+	}
+	release, ee := c.s.admit()
+	if ee != nil {
+		return c.sendError(bw, ee)
+	}
+	defer release()
+	var res *core.Result
+	var err error
+	if entry.sel != nil {
+		ctx, cancel := c.s.stmtContext(timeoutMS)
+		res, err = entry.sel.QueryContext(ctx, params...)
+		cancel()
+	} else {
+		res, err = entry.dml.Exec(params...)
+	}
+	if err != nil {
+		return c.sendError(bw, &execError{msg: err.Error(), degraded: errors.Is(err, core.ErrDegraded)})
+	}
+	return c.sendResult(bw, &wire.Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected})
+}
+
+func (c *binConn) copyBegin(bw *bufio.Writer, payload []byte) error {
+	if c.copy != nil {
+		return c.sendError(bw, &execError{msg: "COPY already in progress on this connection"})
+	}
+	table, cols, expectRows, derr := wire.DecodeCopyBegin(payload)
+	if derr != nil {
+		return c.sendError(bw, &execError{msg: fmt.Sprintf("bad request: %v", derr)})
+	}
+	// One admission token covers the whole load: a bulk load IS one long
+	// statement as far as overload control is concerned.
+	release, ee := c.s.admit()
+	if ee != nil {
+		return c.sendError(bw, ee)
+	}
+	bl, err := c.s.eng.BeginBulk(table, cols, expectRows)
+	if err != nil {
+		release()
+		return c.sendError(bw, &execError{msg: err.Error(), degraded: errors.Is(err, core.ErrDegraded)})
+	}
+	width := len(cols)
+	if width == 0 {
+		width = bl.Width()
+	}
+	c.copy = &copyState{bl: bl, width: width, release: release}
+	// Ack with an empty result; the client streams MsgCopyData after this.
+	return c.sendResult(bw, &wire.Result{})
+}
+
+func (c *binConn) copyData(payload []byte) {
+	if c.copy == nil || c.copy.failErr != nil {
+		// No load open (client bug — reported at MsgCopyEnd) or the load
+		// already failed: discard the batch.
+		return
+	}
+	rows, err := wire.DecodeCopyData(payload, c.copy.width)
+	if err == nil {
+		_, err = c.copy.bl.Append(rows)
+	}
+	if err != nil {
+		// First failure: report at MsgCopyEnd, but release the engine write
+		// lock NOW — the client may keep streaming batches for a while, and
+		// holding the lock across that would block every writer.
+		c.copy.applied = c.copy.bl.Rows()
+		c.copy.failErr = err
+		c.copy.bl.Close()
+	}
+}
+
+func (c *binConn) copyEnd(bw *bufio.Writer) error {
+	if c.copy == nil {
+		return c.sendError(bw, &execError{msg: "COPY end without COPY begin"})
+	}
+	cs := c.copy
+	c.copy = nil
+	defer cs.release()
+	if cs.failErr != nil {
+		return c.sendError(bw, &execError{
+			msg:      fmt.Sprintf("bulk load failed after %d row(s): %v", cs.applied, cs.failErr),
+			degraded: errors.Is(cs.failErr, core.ErrDegraded),
+		})
+	}
+	res, err := cs.bl.Close()
+	if err != nil {
+		return c.sendError(bw, &execError{msg: err.Error(), degraded: errors.Is(err, core.ErrDegraded)})
+	}
+	return c.sendResult(bw, &wire.Result{Affected: res.Affected})
+}
+
+// commandCore serves protocol commands in their typed form. Like the JSON
+// path these never consume an admission token — observability must answer
+// while the server sheds statements.
+func (s *Server) commandCore(cmd string) (*wire.Result, *execError) {
+	switch strings.ToLower(cmd) {
+	case "metrics":
+		out := &wire.Result{Columns: []string{"name", "value"}}
+		for _, kv := range s.eng.MetricsSnapshot() {
+			out.Rows = append(out.Rows, types.Row{types.NewString(kv.Name), types.NewInt(kv.Value)})
+		}
+		return out, nil
+	case "health":
+		out := &wire.Result{Columns: []string{"name", "value"}}
+		for _, p := range s.eng.Health().Pairs() {
+			out.Rows = append(out.Rows, types.Row{types.NewString(p[0]), types.NewString(p[1])})
+		}
+		return out, nil
+	default:
+		return nil, &execError{msg: fmt.Sprintf("unknown command %q (supported: metrics, health)", cmd)}
+	}
+}

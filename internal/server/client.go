@@ -12,12 +12,28 @@ import (
 	"time"
 
 	"grfusion/internal/types"
+	"grfusion/internal/wire"
+)
+
+// Protocol selections for Options.Protocol.
+const (
+	// ProtoAuto negotiates: the client opens with the binary hello and
+	// downgrades to JSON-lines when the server answers with a JSON parse
+	// error (an old server). The default.
+	ProtoAuto = "auto"
+	// ProtoBinary requires the binary protocol; dialing a JSON-only
+	// server fails.
+	ProtoBinary = "binary"
+	// ProtoJSON speaks JSON-lines unconditionally (the legacy protocol).
+	ProtoJSON = "json"
 )
 
 // Options tune a Client's fault-tolerance envelope. The zero value means
-// no timeouts and no retries (the pre-hardening behavior).
+// no timeouts and no retries (the pre-hardening behavior) over an
+// auto-negotiated protocol.
 type Options struct {
-	// ConnectTimeout bounds the initial dial. Zero means no bound.
+	// ConnectTimeout bounds the initial dial and protocol handshake. Zero
+	// means no bound.
 	ConnectTimeout time.Duration
 	// RequestTimeout bounds one request/response round trip on the wire
 	// and is also sent to the server as timeout_ms so the statement itself
@@ -31,7 +47,14 @@ type Options struct {
 	// RetryBase is the first retry backoff, doubled per attempt with
 	// jitter. Zero selects 10ms.
 	RetryBase time.Duration
+	// Protocol selects the wire encoding: ProtoAuto (default), ProtoBinary
+	// or ProtoJSON.
+	Protocol string
 }
+
+// ErrBinaryUnsupported reports a ProtoBinary dial against a server that
+// only speaks JSON-lines.
+var ErrBinaryUnsupported = errors.New("server does not speak the binary wire protocol")
 
 // Client is a synchronous connection to a GRFusion server. It is safe for
 // concurrent use; requests are serialized over the single connection.
@@ -40,8 +63,17 @@ type Client struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	br   *bufio.Reader
+	// bw buffers outgoing requests so each submission costs one syscall at
+	// flush time — in particular the JSON encoder no longer writes
+	// unbuffered to the socket.
+	bw     *bufio.Writer
+	binary bool
+	// copying blocks other requests while a COPY stream owns the
+	// connection (interleaving would corrupt the stream).
+	copying bool
+	enc     *json.Encoder // JSON mode: writes into bw
+	dec     *json.Decoder // JSON mode: reads from br
 	// broken poisons the connection after a mid-exchange failure (e.g. a
 	// request whose response never arrived before RequestTimeout): the
 	// stream may hold a stale response, so no further request can trust
@@ -52,23 +84,118 @@ type Client struct {
 // Dial connects to a server with no timeouts or retries configured.
 func Dial(addr string) (*Client, error) { return DialWith(addr, Options{}) }
 
-// DialWith connects to a server with the given fault-tolerance options.
+// DialWith connects to a server with the given fault-tolerance options
+// and performs protocol negotiation per Options.Protocol.
 func DialWith(addr string, opts Options) (*Client, error) {
-	if opts.RetryBase <= 0 {
-		opts.RetryBase = 10 * time.Millisecond
-	}
 	d := net.Dialer{Timeout: opts.ConnectTimeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	return NewClientConn(conn, opts)
+}
+
+// NewClientConn builds a client over an already-established connection
+// (a custom dialer, or a test injecting faults) and performs protocol
+// negotiation per Options.Protocol. On error the connection is closed.
+func NewClientConn(conn net.Conn, opts Options) (*Client, error) {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 10 * time.Millisecond
+	}
+	if opts.Protocol == "" {
+		opts.Protocol = ProtoAuto
+	}
+	c := &Client{
+		opts: opts,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	if opts.ConnectTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(opts.ConnectTimeout))
+	}
+	switch opts.Protocol {
+	case ProtoJSON:
+		c.useJSON()
+	case ProtoAuto, ProtoBinary:
+		if err := c.handshake(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("unknown protocol %q (want %q, %q or %q)",
+			opts.Protocol, ProtoAuto, ProtoBinary, ProtoJSON)
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+func (c *Client) useJSON() {
+	c.enc = json.NewEncoder(c.bw)
+	dec := json.NewDecoder(c.br)
 	dec.UseNumber()
-	return &Client{opts: opts, conn: conn, enc: json.NewEncoder(conn), dec: dec}, nil
+	c.dec = dec
+}
+
+// handshake opens with the binary hello and sorts the server's answer:
+// a binary hello frame (first byte 0x00) confirms the binary protocol; a
+// JSON response (first byte '{') is an old JSON-lines server complaining
+// about the hello line — consume the complaint and downgrade (ProtoAuto)
+// or fail (ProtoBinary).
+func (c *Client) handshake() error {
+	if _, err := c.conn.Write(wire.Hello()); err != nil {
+		return fmt.Errorf("handshake send: %w", err)
+	}
+	first, err := c.br.Peek(1)
+	if err != nil {
+		return fmt.Errorf("handshake: no server response: %w", err)
+	}
+	if first[0] != 0 {
+		// A JSON-lines server answered our hello with a parse-error
+		// response line.
+		if c.opts.Protocol == ProtoBinary {
+			return ErrBinaryUnsupported
+		}
+		c.useJSON()
+		var discard Response
+		if err := c.dec.Decode(&discard); err != nil {
+			return fmt.Errorf("handshake: malformed server response: %w", err)
+		}
+		return nil
+	}
+	kind, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if kind != wire.MsgHello || len(payload) != 1 {
+		return fmt.Errorf("handshake: unexpected frame kind 0x%02x", kind)
+	}
+	if v := payload[0]; v < 1 || v > wire.ProtoVersion {
+		return fmt.Errorf("handshake: server protocol version %d not supported (max %d)", v, wire.ProtoVersion)
+	}
+	c.binary = true
+	return nil
 }
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Binary reports whether the negotiated protocol is the binary framed
+// one.
+func (c *Client) Binary() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.binary
+}
+
+// Broken reports whether the connection has been poisoned by a
+// mid-exchange failure and must be replaced (see Pool).
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken != nil
+}
 
 // Result is a decoded server response.
 type Result struct {
@@ -107,9 +234,15 @@ func (c *Client) Exec(query string) (*Result, error) {
 // server is asked to bound the statement with timeout_ms. Zero means no
 // bound.
 func (c *Client) ExecTimeout(query string, timeout time.Duration) (*Result, error) {
+	return c.withRetry(func() (*Result, error) { return c.once(query, timeout) })
+}
+
+// withRetry re-submits fn while it fails with a retryable (shed) server
+// error, up to MaxRetries times with full-jitter exponential backoff.
+func (c *Client) withRetry(fn func() (*Result, error)) (*Result, error) {
 	backoff := c.opts.RetryBase
 	for attempt := 0; ; attempt++ {
-		res, err := c.once(query, timeout)
+		res, err := fn()
 		var se *ServerError
 		if err == nil || !errors.As(err, &se) || !se.Retryable || se.Degraded || attempt >= c.opts.MaxRetries {
 			return res, err
@@ -127,7 +260,7 @@ func (c *Client) ExecTimeout(query string, timeout time.Duration) (*Result, erro
 // command. The command is never shed by admission control, so it works
 // even while Exec calls are being rejected as overloaded.
 func (c *Client) Metrics() (map[string]int64, error) {
-	res, err := c.roundTrip(Request{Cmd: "metrics"}, c.opts.RequestTimeout)
+	res, err := c.command("metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +278,7 @@ func (c *Client) Metrics() (map[string]int64, error) {
 // while the server sheds load — and, critically, while the engine is
 // degraded.
 func (c *Client) Health() (map[string]string, error) {
-	res, err := c.roundTrip(Request{Cmd: "health"}, c.opts.RequestTimeout)
+	res, err := c.command("health")
 	if err != nil {
 		return nil, err
 	}
@@ -158,31 +291,87 @@ func (c *Client) Health() (map[string]string, error) {
 	return out, nil
 }
 
-func (c *Client) once(query string, timeout time.Duration) (*Result, error) {
-	return c.roundTrip(Request{Query: query}, timeout)
-}
-
-func (c *Client) roundTrip(req Request, timeout time.Duration) (*Result, error) {
+func (c *Client) command(cmd string) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken != nil {
-		return nil, fmt.Errorf("connection poisoned by earlier failure (reconnect required): %w", c.broken)
+	if c.binary {
+		return c.binRoundTripLocked(wire.MsgCommand, wire.AppendString(nil, cmd), c.opts.RequestTimeout)
 	}
+	return c.jsonRoundTripLocked(Request{Cmd: cmd}, c.opts.RequestTimeout)
+}
+
+func (c *Client) once(query string, timeout time.Duration) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.binary {
+		return c.binRoundTripLocked(wire.MsgQuery, wire.AppendQuery(nil, query, timeoutToMS(timeout)), timeout)
+	}
+	return c.jsonRoundTripLocked(Request{Query: query}, timeout)
+}
+
+// timeoutToMS converts a wire deadline into the timeout_ms request field
+// (minimum 1ms when a bound is set at all).
+func timeoutToMS(timeout time.Duration) int64 {
+	if timeout <= 0 {
+		return 0
+	}
+	ms := int64(timeout / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// checkUsableLocked rejects requests on a poisoned or COPY-owned
+// connection.
+func (c *Client) checkUsableLocked() error {
+	if c.broken != nil {
+		return fmt.Errorf("connection poisoned by earlier failure (reconnect required): %w", c.broken)
+	}
+	if c.copying {
+		return errors.New("connection is streaming a COPY bulk load; finish it first")
+	}
+	return nil
+}
+
+// armDeadlineLocked sets the round-trip wire deadline: the statement
+// timeout plus headroom, so a server-side timeout error normally arrives
+// as a response rather than a cut connection.
+func (c *Client) armDeadlineLocked(timeout time.Duration) {
 	if timeout > 0 {
-		req.TimeoutMS = int64(timeout / time.Millisecond)
-		if req.TimeoutMS == 0 {
-			req.TimeoutMS = 1
-		}
-		// The wire deadline leaves headroom over the statement deadline so
-		// a server-side timeout error normally arrives as a response.
 		c.conn.SetDeadline(time.Now().Add(timeout + 2*time.Second))
 	} else {
 		c.conn.SetDeadline(time.Time{})
 	}
+}
+
+func (c *Client) jsonRoundTripLocked(req Request, timeout time.Duration) (*Result, error) {
+	if err := c.checkUsableLocked(); err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		req.TimeoutMS = timeoutToMS(timeout)
+	}
+	c.armDeadlineLocked(timeout)
+	if err := c.sendJSONLocked(req); err != nil {
+		return nil, err
+	}
+	return c.readJSONLocked()
+}
+
+func (c *Client) sendJSONLocked(req Request) error {
 	if err := c.enc.Encode(req); err != nil {
 		c.broken = err
-		return nil, fmt.Errorf("send: %w", err)
+		return fmt.Errorf("send: %w", err)
 	}
+	if err := c.bw.Flush(); err != nil {
+		c.broken = err
+		return fmt.Errorf("send: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) readJSONLocked() (*Result, error) {
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
 		// The request is in flight but its response was never read; any
@@ -194,14 +383,80 @@ func (c *Client) roundTrip(req Request, timeout time.Duration) (*Result, error) 
 		return nil, &ServerError{Msg: resp.Error, Retryable: resp.Retryable, Degraded: resp.Degraded}
 	}
 	out := &Result{Columns: resp.Columns, Affected: resp.Affected}
-	for _, wire := range resp.Rows {
-		row := make(types.Row, len(wire))
-		for i, v := range wire {
+	for _, jrow := range resp.Rows {
+		row := make(types.Row, len(jrow))
+		for i, v := range jrow {
 			row[i] = decodeValue(v)
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+func (c *Client) binRoundTripLocked(kind byte, payload []byte, timeout time.Duration) (*Result, error) {
+	if err := c.checkUsableLocked(); err != nil {
+		return nil, err
+	}
+	c.armDeadlineLocked(timeout)
+	if err := c.sendFrameLocked(kind, payload, true); err != nil {
+		return nil, err
+	}
+	kind, body, err := c.readFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeResponseLocked(kind, body)
+}
+
+// sendFrameLocked writes one frame into the output buffer, flushing when
+// asked (a pipelining caller defers the flush).
+func (c *Client) sendFrameLocked(kind byte, payload []byte, flush bool) error {
+	if err := wire.WriteFrame(c.bw, kind, payload); err != nil {
+		c.broken = err
+		return fmt.Errorf("send: %w", err)
+	}
+	if flush {
+		if err := c.bw.Flush(); err != nil {
+			c.broken = err
+			return fmt.Errorf("send: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) readFrameLocked() (byte, []byte, error) {
+	kind, body, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.broken = err
+		return 0, nil, fmt.Errorf("receive: %w", err)
+	}
+	return kind, body, nil
+}
+
+// decodeResponseLocked turns a response frame into a Result or error. A
+// malformed frame poisons the connection (the stream can no longer be
+// trusted); a well-formed MsgError does not.
+func (c *Client) decodeResponseLocked(kind byte, body []byte) (*Result, error) {
+	switch kind {
+	case wire.MsgResult:
+		r, err := wire.DecodeResult(body)
+		if err != nil {
+			c.broken = err
+			return nil, fmt.Errorf("receive: %w", err)
+		}
+		return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected}, nil
+	case wire.MsgError:
+		msg, retryable, degraded, err := wire.DecodeError(body)
+		if err != nil {
+			c.broken = err
+			return nil, fmt.Errorf("receive: %w", err)
+		}
+		return nil, &ServerError{Msg: msg, Retryable: retryable, Degraded: degraded}
+	default:
+		err := fmt.Errorf("receive: unexpected response frame kind 0x%02x", kind)
+		c.broken = err
+		return nil, err
+	}
 }
 
 func decodeValue(v any) types.Value {

@@ -35,7 +35,7 @@ func TestMetricsWireCommand(t *testing.T) {
 
 func TestUnknownWireCommand(t *testing.T) {
 	_, c := startServer(t)
-	_, err := c.roundTrip(Request{Cmd: "nosuch"}, 0)
+	_, err := c.command("nosuch")
 	if err == nil || !strings.Contains(err.Error(), "unknown command") {
 		t.Fatalf("want unknown-command error, got %v", err)
 	}

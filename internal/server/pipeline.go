@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"grfusion/internal/types"
+	"grfusion/internal/wire"
+)
+
+// Pipeline batches many requests into one network write. Queue requests
+// with Query/ExecStmt, then Flush sends them all in one buffered write
+// and reads the responses back in request order — amortizing the network
+// round trip that otherwise dominates point-query latency. The server
+// executes pipelined statements in arrival order, so a pipeline has the
+// same semantics as the equivalent sequence of Exec calls, minus N-1
+// round trips.
+//
+// A Pipeline buffers encoded requests locally; it touches the connection
+// only inside Flush, so building a pipeline never blocks other users of
+// the client.
+type Pipeline struct {
+	c *Client
+	// buf holds the encoded (framed or JSON-line) requests.
+	buf []byte
+	n   int
+	err error // first encode error; Flush reports it without sending
+}
+
+// PipeResult is the outcome of one pipelined request.
+type PipeResult struct {
+	Res *Result
+	Err error
+}
+
+// Pipeline starts an empty request batch.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Len returns how many requests are queued.
+func (p *Pipeline) Len() int { return p.n }
+
+// Query queues one SQL statement.
+func (p *Pipeline) Query(query string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	timeoutMS := timeoutToMS(p.c.opts.RequestTimeout)
+	if p.c.Binary() {
+		p.buf = wire.AppendFrame(p.buf, wire.MsgQuery, wire.AppendQuery(nil, query, timeoutMS))
+	} else {
+		line, err := json.Marshal(Request{Query: query, TimeoutMS: timeoutMS})
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.buf = append(append(p.buf, line...), '\n')
+	}
+	p.n++
+	return p
+}
+
+// ExecStmt queues one prepared-statement execution (binary protocol
+// only).
+func (p *Pipeline) ExecStmt(s *Stmt, params ...types.Value) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	if !p.c.Binary() {
+		p.err = errors.New("pipelined prepared statements require the binary protocol")
+		return p
+	}
+	payload := wire.AppendExecPrepared(nil, s.id, timeoutToMS(p.c.opts.RequestTimeout), params)
+	p.buf = wire.AppendFrame(p.buf, wire.MsgExecPrepared, payload)
+	p.n++
+	return p
+}
+
+// Flush writes every queued request in one buffered send and reads their
+// responses in order. The returned slice has one entry per queued
+// request. The second return value is the first transport-level failure
+// (nil when every response arrived — individual statement errors live in
+// the per-request entries). After Flush the pipeline is empty and
+// reusable.
+func (p *Pipeline) Flush() ([]PipeResult, error) {
+	if p.err != nil {
+		err := p.err
+		p.buf, p.n, p.err = p.buf[:0], 0, nil
+		return nil, err
+	}
+	n := p.n
+	if n == 0 {
+		return nil, nil
+	}
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer func() { p.buf, p.n = p.buf[:0], 0 }()
+	if err := c.checkUsableLocked(); err != nil {
+		return nil, err
+	}
+	// The wire deadline covers the whole batch: each response refreshes it.
+	c.armDeadlineLocked(c.opts.RequestTimeout)
+	if _, err := c.bw.Write(p.buf); err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	out := make([]PipeResult, 0, n)
+	for i := 0; i < n; i++ {
+		c.armDeadlineLocked(c.opts.RequestTimeout)
+		var res *Result
+		var err error
+		if c.binary {
+			var kind byte
+			var body []byte
+			kind, body, err = c.readFrameLocked()
+			if err == nil {
+				res, err = c.decodeResponseLocked(kind, body)
+			}
+		} else {
+			res, err = c.readJSONLocked()
+		}
+		out = append(out, PipeResult{Res: res, Err: err})
+		if c.broken != nil {
+			// Transport failure: later responses can never arrive.
+			return out, err
+		}
+	}
+	return out, nil
+}

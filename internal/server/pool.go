@@ -1,0 +1,138 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool is a health-aware client connection pool. Checkout hands out an
+// idle connection when one exists and dials otherwise; checkin returns
+// healthy connections to the idle set and discards poisoned ones, so a
+// connection that died mid-exchange is replaced instead of resurfacing to
+// fail someone else's request. Concurrent workloads (each goroutine
+// holding a connection for one request) get connection reuse without a
+// dial per request and without sharing one serialized connection.
+type Pool struct {
+	addr string
+	opts Options
+	// max bounds total connections (idle + checked out); 0 means
+	// unbounded.
+	max int
+
+	mu     sync.Mutex
+	idle   []*Client
+	out    int // checked-out count
+	closed bool
+	wait   chan struct{} // closed-and-replaced broadcast when a slot frees
+}
+
+// NewPool creates a pool dialing addr with opts. maxConns bounds the
+// total number of live connections (0 = unbounded); when the bound is
+// reached, Get blocks until a connection is returned.
+func NewPool(addr string, opts Options, maxConns int) *Pool {
+	return &Pool{addr: addr, opts: opts, max: maxConns, wait: make(chan struct{})}
+}
+
+// ErrPoolClosed reports Get on a closed pool.
+var ErrPoolClosed = errors.New("connection pool is closed")
+
+// Get checks out a connection, dialing a fresh one when the idle set is
+// empty. Idle connections that were poisoned while checked in (e.g. by a
+// peer reset) are discarded, not handed out.
+func (p *Pool) Get() (*Client, error) {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		for len(p.idle) > 0 {
+			c := p.idle[len(p.idle)-1]
+			p.idle = p.idle[:len(p.idle)-1]
+			if c.Broken() {
+				c.Close()
+				continue
+			}
+			p.out++
+			p.mu.Unlock()
+			return c, nil
+		}
+		if p.max <= 0 || p.out+len(p.idle) < p.max {
+			p.out++ // reserve the slot while dialing outside the lock
+			p.mu.Unlock()
+			c, err := DialWith(p.addr, p.opts)
+			if err != nil {
+				p.mu.Lock()
+				p.out--
+				p.notifyLocked()
+				p.mu.Unlock()
+				return nil, err
+			}
+			return c, nil
+		}
+		// At capacity: wait for a Put/discard to free a slot.
+		ch := p.wait
+		p.mu.Unlock()
+		<-ch
+		p.mu.Lock()
+	}
+}
+
+// Put returns a connection to the pool. Poisoned connections are closed
+// and dropped — their slot frees for a fresh dial.
+func (p *Pool) Put(c *Client) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.out--
+	if p.closed || c.Broken() {
+		p.mu.Unlock()
+		c.Close()
+		p.mu.Lock()
+	} else {
+		p.idle = append(p.idle, c)
+	}
+	p.notifyLocked()
+	p.mu.Unlock()
+}
+
+// notifyLocked wakes every Get blocked on capacity.
+func (p *Pool) notifyLocked() {
+	close(p.wait)
+	p.wait = make(chan struct{})
+}
+
+// Exec checks out a connection, runs one statement, and returns the
+// connection — the convenience path for sporadic callers.
+func (p *Pool) Exec(query string) (*Result, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(c)
+	return c.Exec(query)
+}
+
+// Stats reports the pool's current occupancy.
+func (p *Pool) Stats() (idle, checkedOut int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle), p.out
+}
+
+// Close closes every idle connection and rejects future Gets.
+// Checked-out connections are closed as they are returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	p.notifyLocked()
+}

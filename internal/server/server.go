@@ -49,6 +49,7 @@ import (
 
 	"grfusion/internal/core"
 	"grfusion/internal/types"
+	"grfusion/internal/wire"
 )
 
 // maxRequestBytes caps one request line (the scanner buffer limit).
@@ -288,8 +289,61 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), maxRequestBytes)
+	// Protocol negotiation: sniff the first byte. 'G' opens the binary
+	// handshake (wire.Hello); anything else is treated as a JSON-lines
+	// peer, exactly as before the binary protocol existed — garbage then
+	// gets the JSON loop's "bad request" diagnostic. A JSON request line
+	// always starts '{' (or whitespace), never 'G', so the sniff cannot
+	// misroute a legacy client.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == 'G' {
+		br.ReadByte()
+		v, err := wire.ReadHello(br, 'G')
+		if err != nil {
+			// Garbage after 'G', or a peer that disconnected mid-handshake.
+			// A diagnostic is only worth sending to a live peer.
+			if errors.Is(err, wire.ErrBadMagic) {
+				s.sendJSONError(conn, "unrecognized protocol: expected GRFusion binary hello or JSON-lines request")
+			}
+			return
+		}
+		if v > wire.ProtoVersion {
+			// Answer with our version; the client decides whether to speak it.
+			v = wire.ProtoVersion
+		}
+		s.serveBinary(conn, br, v)
+		return
+	}
+	s.serveJSON(conn, br)
+}
+
+// sendJSONError writes one best-effort JSON-lines error response, for
+// peers that failed negotiation (a JSON response is the only encoding an
+// unknown peer plausibly parses).
+func (s *Server) sendJSONError(conn net.Conn, msg string) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	b, _ := json.Marshal(&Response{Error: msg})
+	conn.Write(append(b, '\n'))
+}
+
+// serveJSON is the JSON-lines request loop, unchanged protocol-wise since
+// the first server release: one request object per line, one response
+// object per line, in order.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
+	sc := bufio.NewScanner(br)
+	// Start with the reader's modest buffer and let the scanner grow it on
+	// demand up to the cap: eagerly allocating maxRequestBytes per
+	// connection (as earlier releases did) burned 16 MiB per idle client.
+	sc.Buffer(nil, maxRequestBytes)
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
 	send := func(resp *Response) bool {
@@ -378,44 +432,81 @@ func (s *Server) command(req *Request) Response {
 }
 
 func (s *Server) execute(req *Request) Response {
-	// Admission control: shed instead of queueing — a shed statement never
-	// started, so the client can retry safely.
-	if s.sem != nil {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			s.eng.Metrics().ShedAdmissions.Inc()
-			return Response{
-				Error:     fmt.Sprintf("server overloaded: %d statements already executing", cap(s.sem)),
-				Retryable: true,
-			}
-		}
-	}
-	ctx := s.baseCtx
-	if s.cfg.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
-		defer cancel()
-	}
-	if req.TimeoutMS > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-		defer cancel()
-	}
-	res, err := s.eng.ExecuteContext(ctx, req.Query)
-	if err != nil {
-		return Response{Error: err.Error(), Degraded: errors.Is(err, core.ErrDegraded)}
+	res, ee := s.executeCore(req.Query, req.TimeoutMS)
+	if ee != nil {
+		return Response{Error: ee.msg, Retryable: ee.retryable, Degraded: ee.degraded}
 	}
 	out := Response{Columns: res.Columns, Affected: res.Affected}
 	for _, row := range res.Rows {
-		wire := make([]any, len(row))
+		enc := make([]any, len(row))
 		for i, v := range row {
-			wire[i] = encodeValue(v)
+			enc[i] = encodeValue(v)
 		}
-		out.Rows = append(out.Rows, wire)
+		out.Rows = append(out.Rows, enc)
 	}
 	return out
+}
+
+// execError is a failed statement plus its protocol flags, shared by the
+// JSON and binary encodings of the error.
+type execError struct {
+	msg       string
+	retryable bool
+	degraded  bool
+}
+
+// admit takes an admission token, or returns the shed error. release is
+// non-nil exactly when admission succeeded.
+func (s *Server) admit() (release func(), ee *execError) {
+	if s.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+		s.eng.Metrics().ShedAdmissions.Inc()
+		return nil, &execError{
+			msg:       fmt.Sprintf("server overloaded: %d statements already executing", cap(s.sem)),
+			retryable: true,
+		}
+	}
+}
+
+// stmtContext derives the statement context: the server's QueryTimeout
+// tightened by the client's timeout_ms.
+func (s *Server) stmtContext(timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := s.baseCtx, context.CancelFunc(func() {})
+	if s.cfg.QueryTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	}
+	if timeoutMS > 0 {
+		prev := cancel
+		var c2 context.CancelFunc
+		ctx, c2 = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		cancel = func() { c2(); prev() }
+	}
+	return ctx, cancel
+}
+
+// executeCore runs one statement under admission control and the
+// statement deadline, returning the engine result in its typed form (the
+// JSON and binary paths encode it differently).
+func (s *Server) executeCore(query string, timeoutMS int64) (*core.Result, *execError) {
+	// Admission control: shed instead of queueing — a shed statement never
+	// started, so the client can retry safely.
+	release, ee := s.admit()
+	if ee != nil {
+		return nil, ee
+	}
+	defer release()
+	ctx, cancel := s.stmtContext(timeoutMS)
+	defer cancel()
+	res, err := s.eng.ExecuteContext(ctx, query)
+	if err != nil {
+		return nil, &execError{msg: err.Error(), degraded: errors.Is(err, core.ErrDegraded)}
+	}
+	return res, nil
 }
 
 func encodeValue(v types.Value) any {

@@ -50,7 +50,7 @@ type Table struct {
 	sharedLen int
 
 	pkCols []int // column indexes of the primary key; empty if none
-	pk     map[string]RowID
+	pk     *pkIndex
 
 	// idxMu guards the indexes registry: lock-free readers resolve access
 	// paths (FindIndexOn) concurrently with CREATE/DROP INDEX.
@@ -80,7 +80,7 @@ func NewTable(name string, schema *types.Schema, pkCols []int) (*Table, error) {
 		indexes: make(map[string]*Index),
 	}
 	if len(pkCols) > 0 {
-		t.pk = make(map[string]RowID)
+		t.pk = newPKIndex(schema, t.pkCols)
 	}
 	return t, nil
 }
@@ -108,6 +108,29 @@ func (t *Table) AllocState() (nextSlot RowID, freeDepth int) {
 	return RowID(len(t.rows) + 1), len(t.free)
 }
 
+// Reserve presizes the table for about n additional tuples: the row array
+// grows to its final capacity once and the primary-key index rehashes once,
+// instead of both growing incrementally every few thousand inserts. Bulk
+// ingest calls it with the loader's row-count hint; it changes no visible
+// state. Requires the writer lock, like any mutator.
+func (t *Table) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(t.rows) + n; need > cap(t.rows) {
+		rows := make([]types.Row, len(t.rows), need)
+		copy(rows, t.rows)
+		t.rows = rows
+		// A live snapshot keeps aliasing the old array; the fresh copy is
+		// private, so in-place writes below the old shared length no longer
+		// need a copy-on-write.
+		t.sharedLen = 0
+	}
+	if t.pk != nil {
+		t.pk.reserve(n)
+	}
+}
+
 func (t *Table) checkRow(row types.Row) error {
 	if len(row) != t.schema.Len() {
 		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
@@ -133,10 +156,8 @@ func (t *Table) Insert(row types.Row) (RowID, error) {
 	if err := t.checkRow(row); err != nil {
 		return InvalidRowID, err
 	}
-	var pkKey string
 	if t.pk != nil {
-		pkKey = types.KeyOf(row, t.pkCols)
-		if _, dup := t.pk[pkKey]; dup {
+		if _, dup := t.pk.lookupRow(row); dup {
 			return InvalidRowID, fmt.Errorf("table %s: duplicate primary key %s",
 				t.name, describeKey(row, t.pkCols))
 		}
@@ -153,7 +174,7 @@ func (t *Table) Insert(row types.Row) (RowID, error) {
 		id = RowID(len(t.rows))
 	}
 	if t.pk != nil {
-		t.pk[pkKey] = id
+		t.pk.insert(row, id)
 	}
 	for _, ix := range t.indexes {
 		ix.insert(row, id)
@@ -179,14 +200,10 @@ func (t *Table) RowValues(id uint64) (types.Row, bool) { return t.Get(RowID(id))
 // LookupPK returns the RowID of the tuple with the given primary-key
 // values, or InvalidRowID if absent or the table has no primary key.
 func (t *Table) LookupPK(key types.Row) RowID {
-	if t.pk == nil || len(key) != len(t.pkCols) {
+	if t.pk == nil {
 		return InvalidRowID
 	}
-	idx := make([]int, len(key))
-	for i := range key {
-		idx[i] = i
-	}
-	id, ok := t.pk[types.KeyOf(key, idx)]
+	id, ok := t.pk.lookupKey(key)
 	if !ok {
 		return InvalidRowID
 	}
@@ -204,21 +221,18 @@ func (t *Table) Update(id RowID, row types.Row) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
-	var oldKey, newKey string
-	if t.pk != nil {
-		oldKey = types.KeyOf(old, t.pkCols)
-		newKey = types.KeyOf(row, t.pkCols)
-		if oldKey != newKey {
-			if _, dup := t.pk[newKey]; dup {
-				return fmt.Errorf("table %s: duplicate primary key %s",
-					t.name, describeKey(row, t.pkCols))
-			}
+	keyMoved := false
+	if t.pk != nil && !t.pk.sameKey(old, row) {
+		keyMoved = true
+		if _, dup := t.pk.lookupRow(row); dup {
+			return fmt.Errorf("table %s: duplicate primary key %s",
+				t.name, describeKey(row, t.pkCols))
 		}
 	}
 	t.version.Add(1)
-	if t.pk != nil && oldKey != newKey {
-		delete(t.pk, oldKey)
-		t.pk[newKey] = id
+	if keyMoved {
+		t.pk.remove(old)
+		t.pk.insert(row, id)
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
@@ -239,7 +253,7 @@ func (t *Table) Delete(id RowID) error {
 	}
 	t.version.Add(1)
 	if t.pk != nil {
-		delete(t.pk, types.KeyOf(old, t.pkCols))
+		t.pk.remove(old)
 	}
 	for _, ix := range t.indexes {
 		ix.remove(old, id)
@@ -316,12 +330,11 @@ func (t *Table) RestoreSlots(rows []types.Row, free []RowID) error {
 			return err
 		}
 		if t.pk != nil {
-			key := types.KeyOf(row, t.pkCols)
-			if _, dup := t.pk[key]; dup {
+			if _, dup := t.pk.lookupRow(row); dup {
 				return fmt.Errorf("table %s: duplicate primary key %s",
 					t.name, describeKey(row, t.pkCols))
 			}
-			t.pk[key] = RowID(i + 1)
+			t.pk.insert(row, RowID(i+1))
 		}
 		for _, ix := range t.indexes {
 			ix.insert(row, RowID(i+1))
@@ -361,7 +374,7 @@ func (t *Table) Truncate() {
 	t.free = t.free[:0]
 	t.live = 0
 	if t.pk != nil {
-		t.pk = make(map[string]RowID)
+		t.pk.clear()
 	}
 	for _, ix := range t.indexes {
 		ix.clear()

@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"grfusion/internal/types"
+)
+
+func frameRoundTrip(t *testing.T, kind byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, kind, payload); err != nil {
+		t.Fatal(err)
+	}
+	k, p, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 70000)} {
+		k, p := frameRoundTrip(t, MsgQuery, payload)
+		if k != MsgQuery || !bytes.Equal(p, payload) {
+			t.Fatalf("round trip lost data: kind=%d len=%d want len=%d", k, len(p), len(payload))
+		}
+	}
+}
+
+func TestFrameStartsWithZeroByte(t *testing.T) {
+	// Negotiation relies on every frame under the cap starting 0x00 —
+	// distinguishable from '{' with one sniffed byte.
+	b := AppendFrame(nil, MsgResult, bytes.Repeat([]byte{1}, 1000))
+	if b[0] != 0 {
+		t.Fatalf("frame starts 0x%02x, negotiation needs 0x00", b[0])
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	base := AppendFrame(nil, MsgQuery, []byte("SELECT 1"))
+	// Flip every single byte position after the header: each must surface
+	// as ErrBadCRC (payload/kind/crc corruption), never as silent success.
+	for i := 4; i < len(base); i++ {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0x40
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(mut)))
+		if !errors.Is(err, ErrBadCRC) {
+			t.Fatalf("flip at %d: got %v, want ErrBadCRC", i, err)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := AppendFrame(nil, MsgQuery, []byte("SELECT * FROM t"))
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:cut])))
+		if err == nil {
+			t.Fatalf("truncation at %d read a frame", cut)
+		}
+		if cut >= 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: got %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameTooLargeKeepsStreamSynchronized(t *testing.T) {
+	var buf bytes.Buffer
+	// An oversized frame (header only, then its declared body), followed
+	// by a healthy frame.
+	huge := MaxFrameBytes + 100
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(huge))
+	buf.Write(hdr)
+	buf.Write(make([]byte, huge+4)) // body + CRC, content irrelevant
+	if err := WriteFrame(&buf, MsgCommand, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	_, _, err := ReadFrame(r)
+	var tooBig *FrameTooLargeError
+	if !errors.As(err, &tooBig) || !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want FrameTooLargeError", err)
+	}
+	if err := DiscardFrame(r, tooBig.Len); err != nil {
+		t.Fatal(err)
+	}
+	k, p, err := ReadFrame(r)
+	if err != nil || k != MsgCommand || string(p) != "after" {
+		t.Fatalf("stream desynchronized after discard: %d %q %v", k, p, err)
+	}
+}
+
+func TestHello(t *testing.T) {
+	h := Hello()
+	if len(h) != HelloLen || h[HelloLen-1] != '\n' {
+		t.Fatalf("hello %q must be %d bytes ending in newline (JSON-lines fallback depends on it)", h, HelloLen)
+	}
+	r := bufio.NewReader(bytes.NewReader(h[1:]))
+	v, err := ReadHello(r, h[0])
+	if err != nil || v != ProtoVersion {
+		t.Fatalf("ReadHello = %d, %v", v, err)
+	}
+	// Garbage after a 'G' first byte must be ErrBadMagic.
+	r = bufio.NewReader(strings.NewReader("RABGE\n"))
+	if _, err := ReadHello(r, 'G'); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage hello: %v", err)
+	}
+	// Mid-handshake disconnect must be ErrUnexpectedEOF.
+	r = bufio.NewReader(strings.NewReader("RW"))
+	if _, err := ReadHello(r, 'G'); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short hello: %v", err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null(),
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewInt(0),
+		types.NewInt(1),
+		types.NewInt(-1),
+		types.NewInt(math.MaxInt64),
+		types.NewInt(math.MinInt64),
+		types.NewFloat(0),
+		types.NewFloat(-3.25),
+		types.NewFloat(math.Inf(1)),
+		types.NewString(""),
+		types.NewString("hello"),
+		types.NewString(strings.Repeat("é", 300)),
+	}
+	var b []byte
+	for _, v := range vals {
+		b = AppendValue(b, v)
+	}
+	for _, want := range vals {
+		var got types.Value
+		var err error
+		got, b, err = DecodeValue(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.I != want.I || got.B != want.B || got.S != want.S ||
+			(got.F != want.F && !(math.IsNaN(got.F) && math.IsNaN(want.F))) {
+			t.Fatalf("value round trip: got %#v want %#v", got, want)
+		}
+	}
+	if len(b) != 0 {
+		t.Fatalf("%d trailing bytes", len(b))
+	}
+}
+
+func TestValueDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{},               // empty
+		{9},              // unknown tag
+		{tagInt},         // missing varint
+		{tagFloat, 1},    // short float
+		{tagStr, 5, 'a'}, // short string
+	}
+	for _, c := range cases {
+		if _, _, err := DecodeValue(c); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("DecodeValue(%v) err = %v, want ErrBadMessage", c, err)
+		}
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	q, tm, err := DecodeQuery(AppendQuery(nil, "SELECT 1", 250))
+	if err != nil || q != "SELECT 1" || tm != 250 {
+		t.Fatalf("query: %q %d %v", q, tm, err)
+	}
+
+	id, tm, params, err := DecodeExecPrepared(AppendExecPrepared(nil, 7, 9,
+		[]types.Value{types.NewInt(42), types.NewString("x")}))
+	if err != nil || id != 7 || tm != 9 || len(params) != 2 || params[0].I != 42 || params[1].S != "x" {
+		t.Fatalf("exec prepared: %d %d %v %v", id, tm, params, err)
+	}
+
+	table, cols, exp, err := DecodeCopyBegin(AppendCopyBegin(nil, "edges", []string{"a", "b"}, 1000))
+	if err != nil || table != "edges" || len(cols) != 2 || cols[1] != "b" || exp != 1000 {
+		t.Fatalf("copy begin: %q %v %d %v", table, cols, exp, err)
+	}
+
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(2), types.Null()},
+	}
+	got, err := DecodeCopyData(AppendCopyData(nil, rows), 2)
+	if err != nil || len(got) != 2 || got[0][1].S != "a" || got[1][1].Kind != types.KindNull {
+		t.Fatalf("copy data: %v %v", got, err)
+	}
+
+	res := &Result{Columns: []string{"c1", "c2"}, Affected: 3, Rows: rows}
+	back, err := DecodeResult(AppendResult(nil, res))
+	if err != nil || back.Affected != 3 || len(back.Rows) != 2 ||
+		back.Columns[1] != "c2" || back.Rows[1][0].I != 2 {
+		t.Fatalf("result: %+v %v", back, err)
+	}
+	empty, err := DecodeResult(AppendResult(nil, &Result{}))
+	if err != nil || len(empty.Rows) != 0 || len(empty.Columns) != 0 {
+		t.Fatalf("empty result: %+v %v", empty, err)
+	}
+
+	msg, retry, degr, err := DecodeError(AppendError(nil, "boom", true, false))
+	if err != nil || msg != "boom" || !retry || degr {
+		t.Fatalf("error: %q %v %v %v", msg, retry, degr, err)
+	}
+
+	pid, kind, np, pcols, err := DecodePrepared(AppendPrepared(nil, 3, PreparedSelect, 2, []string{"x"}))
+	if err != nil || pid != 3 || kind != PreparedSelect || np != 2 || len(pcols) != 1 {
+		t.Fatalf("prepared: %d %d %d %v %v", pid, kind, np, pcols, err)
+	}
+}
+
+// TestMessageDecodersRejectFuzzGarbage feeds truncations of every valid
+// payload into its decoder: none may panic, each must error or succeed
+// with consistent data (a hostile peer cannot crash the server).
+func TestMessageDecodersRejectTruncations(t *testing.T) {
+	rows := []types.Row{{types.NewInt(1), types.NewString("abc")}}
+	payloads := map[string][]byte{
+		"query":  AppendQuery(nil, "SELECT 1", 5),
+		"exec":   AppendExecPrepared(nil, 1, 0, []types.Value{types.NewFloat(1.5)}),
+		"begin":  AppendCopyBegin(nil, "t", []string{"a"}, 10),
+		"data":   AppendCopyData(nil, rows),
+		"result": AppendResult(nil, &Result{Columns: []string{"a", "b"}, Rows: rows}),
+		"error":  AppendError(nil, "msg", false, true),
+		"prep":   AppendPrepared(nil, 1, PreparedDML, 0, nil),
+	}
+	for name, full := range payloads {
+		for cut := 0; cut < len(full); cut++ {
+			b := full[:cut]
+			var err error
+			switch name {
+			case "query":
+				_, _, err = DecodeQuery(b)
+			case "exec":
+				_, _, _, err = DecodeExecPrepared(b)
+			case "begin":
+				_, _, _, err = DecodeCopyBegin(b)
+			case "data":
+				_, err = DecodeCopyData(b, 2)
+			case "result":
+				_, err = DecodeResult(b)
+			case "error":
+				_, _, _, err = DecodeError(b)
+			case "prep":
+				_, _, _, _, err = DecodePrepared(b)
+			}
+			if err == nil {
+				t.Fatalf("%s: truncation at %d decoded successfully", name, cut)
+			}
+		}
+	}
+}
